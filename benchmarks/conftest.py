@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Each benchmark module regenerates one table or figure of the paper:
+it runs the corresponding experiment on the simulated infrastructure,
+prints (and saves under ``benchmarks/results/``) a paper-style rendering,
+and asserts the qualitative shape the paper reports.
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Persist a rendered table/figure and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}")

@@ -1,0 +1,97 @@
+"""Ablation: dynamic validation of the Section 5.2 break-even formula.
+
+The paper derives the FaaS/IaaS break-even analytically from one query's
+cost and the peak cluster's hourly rate. Here a Poisson query stream
+actually runs against both deployments at increasing arrival rates: the
+measured cost curves must cross near the analytic prediction — pay-per-
+query wins below it, the provisioned cluster above it.
+"""
+
+import pytest
+
+from conftest import save_artifact
+from repro.core import CloudSim, format_table
+from repro.engine.queries import tpch_q6
+from repro.pricing import ec2_instance, faas_break_even_queries_per_hour
+from repro.workloads import SuiteSetup
+from repro.workloads.arrivals import cost_crossover, run_arrival_workload
+from repro.workloads.suite import setup_engine
+
+VM_COUNT = 4
+WINDOW_S = 1_800.0
+PLAN_FRAGMENTS = 4
+
+
+def analytic_break_even() -> float:
+    """The Section 5.2 formula applied to one measured warm query."""
+    sim = CloudSim(seed=50)
+    setup = SuiteSetup(queries=("tpch-q6",), lineitem_partitions=4,
+                       rows_per_partition=96)
+    engine = setup_engine(sim, setup)
+    plan = tpch_q6(scan_fragments=PLAN_FRAGMENTS)
+    sim.run(engine.run_query(plan))  # warm
+    result = sim.run(engine.run_query(plan))
+    vm = ec2_instance("c6g.xlarge")
+    return faas_break_even_queries_per_hour(
+        faas_cost_per_query=result.compute_cost_cents / 100.0,
+        vm_hourly_usd=vm.hourly_usd, peak_vms=VM_COUNT)
+
+
+def run_experiment():
+    prediction = analytic_break_even()
+    rates = [prediction * factor for factor in (0.25, 0.5, 1.5, 3.0)]
+    data = cost_crossover(tpch_q6(scan_fragments=PLAN_FRAGMENTS), rates,
+                          window_s=WINDOW_S, vm_count=VM_COUNT)
+    return prediction, rates, data
+
+
+def test_ablation_cost_crossover(benchmark):
+    prediction, rates, data = benchmark.pedantic(run_experiment, rounds=1,
+                                                 iterations=1)
+    rows = []
+    for faas, iaas in zip(data["outcomes"]["faas"],
+                          data["outcomes"]["iaas"]):
+        rows.append([f"{faas.queries_per_hour:,.0f}",
+                     faas.queries_run,
+                     f"{faas.compute_cost_usd:.4f}",
+                     f"{iaas.compute_cost_usd:.4f}",
+                     "FaaS" if faas.compute_cost_usd
+                     < iaas.compute_cost_usd else "IaaS"])
+    table = format_table(
+        ["Rate [Q/h]", "Queries", "FaaS cost [$]", "IaaS cost [$]",
+         "Cheaper"], rows,
+        title=(f"Dynamic cost crossover (analytic break-even "
+               f"{prediction:,.0f} Q/h)"))
+    save_artifact("ablation_cost_crossover", table)
+
+    outcomes = data["outcomes"]
+    # Below the analytic break-even, FaaS is cheaper; above, IaaS.
+    for faas, iaas in zip(outcomes["faas"], outcomes["iaas"]):
+        if faas.queries_per_hour <= 0.5 * prediction:
+            assert faas.compute_cost_usd < iaas.compute_cost_usd
+        if faas.queries_per_hour >= 1.5 * prediction:
+            assert iaas.compute_cost_usd < faas.compute_cost_usd
+    # The measured crossover sits between the bracketing rates.
+    assert rates[1] < data["crossover_rate"] <= rates[2]
+    # IaaS cost is load-independent (peak provisioning); FaaS scales
+    # with the number of queries served.
+    # (within the slack of queries overrunning the billing window).
+    iaas_costs = [o.compute_cost_usd for o in outcomes["iaas"]]
+    assert max(iaas_costs) == pytest.approx(min(iaas_costs), rel=0.10)
+    faas_costs = [o.compute_cost_usd for o in outcomes["faas"]]
+    assert faas_costs == sorted(faas_costs)
+
+
+def test_low_rate_workload_latency_stays_interactive(benchmark):
+    """Sporadic arrivals pay coldstarts yet stay interactive — the
+    serverless sweet spot of infrequent workloads (Section 6)."""
+
+    def run():
+        return run_arrival_workload(
+            "faas", tpch_q6(scan_fragments=PLAN_FRAGMENTS),
+            queries_per_hour=30.0, window_s=WINDOW_S, vm_count=VM_COUNT)
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outcome.queries_run > 0
+    assert outcome.median_runtime < 5.0
+    assert outcome.cost_per_query < 0.01  # well under a cent per query

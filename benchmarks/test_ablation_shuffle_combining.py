@@ -1,0 +1,105 @@
+"""Ablation: shuffle write combining (Section 5.3.2).
+
+The engine writes each producer's output as one combined object with a
+partition index; the naive alternative writes one object per (producer,
+partition). With S3 pricing writes at 12.5x the read price, uncombined
+shuffles multiply the dominant cost term. This ablation executes both
+layouts and compares request counts and storage cost.
+"""
+
+from conftest import save_artifact
+from repro import units
+from repro.core import format_table
+from repro.engine.io import IoStack
+from repro.engine.shuffle import ShuffleReader, ShuffleWriter
+from repro.formats.batch import RecordBatch
+from repro.formats.schema import DataType, Field, Schema
+from repro.network import Fabric
+from repro.pricing import STORAGE_PRICES
+from repro.sim import Environment, RandomStreams
+from repro.storage import S3Standard
+
+PRODUCERS = 16
+CONSUMERS = 32
+ROWS_PER_PRODUCER = 512
+
+
+def make_batch(seed: int) -> RecordBatch:
+    import numpy as np
+    rng = np.random.default_rng(seed)
+    return RecordBatch(
+        Schema([Field("key", DataType.INT64), Field("v", DataType.FLOAT64)]),
+        {"key": rng.integers(0, 10_000, ROWS_PER_PRODUCER).astype("int64"),
+         "v": rng.random(ROWS_PER_PRODUCER)},
+        logical_bytes=64 * units.MiB)
+
+
+def run_shuffle(combine: bool):
+    env = Environment()
+    fabric = Fabric(env)
+    rng = RandomStreams(seed=20)
+    s3 = S3Standard(env, fabric, rng)
+    io = IoStack(env, s3, fabric.endpoint("worker"))
+
+    def scenario(env):
+        started = env.now
+        for fragment in range(PRODUCERS):
+            writer = ShuffleWriter(io, "abl", "pipe", fragment,
+                                   partition_key="key",
+                                   partitions=CONSUMERS, combine=combine)
+            yield from writer.write(make_batch(fragment))
+        write_done = env.now
+        rows = 0
+        for partition in range(CONSUMERS):
+            reader = ShuffleReader(io, "abl", "pipe",
+                                   producer_fragments=PRODUCERS,
+                                   partition=partition)
+            batch = yield from reader.read()
+            rows += batch.num_rows
+        return {"rows": rows, "write_time": write_done - started,
+                "read_time": env.now - write_done}
+
+    proc = env.process(scenario(env))
+    env.run(until=proc)
+    outcome = proc.value
+    pricing = STORAGE_PRICES["s3-standard"]
+    outcome.update({
+        "writes": io.stats.write_requests,
+        "reads": io.stats.read_requests,
+        "cost_cents": 100 * (
+            pricing.write_cost(io.stats.write_requests)
+            + pricing.read_cost(io.stats.read_requests)),
+    })
+    return outcome
+
+
+def run_experiment():
+    return {"combined": run_shuffle(True),
+            "uncombined": run_shuffle(False)}
+
+
+def test_ablation_shuffle_combining(benchmark):
+    outcome = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [[label, o["writes"], o["reads"], f"{o['cost_cents']:.3f}"]
+            for label, o in outcome.items()]
+    table = format_table(
+        ["Layout", "Write requests", "Read requests", "Request cost [c]"],
+        rows, title=(f"Ablation: shuffle write combining "
+                     f"({PRODUCERS} producers x {CONSUMERS} consumers)"))
+    save_artifact("ablation_shuffle_combining", table)
+
+    combined = outcome["combined"]
+    uncombined = outcome["uncombined"]
+    # Both layouts move the same rows.
+    assert combined["rows"] == uncombined["rows"] \
+        == PRODUCERS * ROWS_PER_PRODUCER
+    # Combining: one write per producer. Naive: one per (producer,
+    # partition) plus the index object.
+    assert combined["writes"] == PRODUCERS
+    assert uncombined["writes"] == PRODUCERS * (CONSUMERS + 1)
+    # Reads are producers x consumers either way.
+    assert combined["reads"] == uncombined["reads"] \
+        == PRODUCERS * CONSUMERS
+    # S3 writes cost 12.5x reads, so the naive layout multiplies the
+    # request bill severalfold.
+    assert uncombined["cost_cents"] > 4 * combined["cost_cents"]

@@ -1,0 +1,72 @@
+"""Figure 10: request latency distributions over one million requests.
+
+One million 1 KiB reads and writes per service from 10 clients via the
+synchronous APIs. Paper shape: S3 Standard has the highest median
+(27 ms read / 40 ms write) and extreme tails (slowest read just over
+10 s, ~374x the median, with p95 at 75 ms); S3 Express sits around 5 ms
+with little variance; DynamoDB is slightly faster than Express but more
+variable; EFS matches the low-latency group on reads but writes are
+2-3x slower.
+"""
+
+import pytest
+
+from conftest import save_artifact
+from repro.core import CloudSim, format_table
+from repro.core.micro import run_storage_latency
+
+SERVICES = ["s3-standard", "s3-express", "dynamodb", "efs-1"]
+REQUESTS = 1_000_000
+
+
+def run_experiment():
+    outcomes = {}
+    for service in SERVICES:
+        outcomes[service] = run_storage_latency(CloudSim(seed=10), service,
+                                                request_count=REQUESTS)
+    return outcomes
+
+
+def test_fig10_storage_latency(benchmark):
+    outcomes = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for service, data in outcomes.items():
+        for op in ("read", "write"):
+            stats = data[op]
+            rows.append([service, op,
+                         f"{stats['p50'] * 1e3:.1f}",
+                         f"{stats['p95'] * 1e3:.1f}",
+                         f"{stats['p99'] * 1e3:.1f}",
+                         f"{stats['max'] * 1e3:,.0f}"])
+    table = format_table(
+        ["Service", "Op", "p50 [ms]", "p95 [ms]", "p99 [ms]", "max [ms]"],
+        rows, title=f"Figure 10: latency over {REQUESTS:,} requests")
+    save_artifact("fig10_storage_latency", table)
+
+    s3 = outcomes["s3-standard"]
+    express = outcomes["s3-express"]
+    ddb = outcomes["dynamodb"]
+    efs = outcomes["efs-1"]
+    # S3 Standard: 27 ms median read / 40 ms write, p95 read 75 ms.
+    assert s3["read"]["p50"] == pytest.approx(0.027, rel=0.05)
+    assert s3["write"]["p50"] == pytest.approx(0.040, rel=0.05)
+    assert s3["read"]["p95"] == pytest.approx(0.075, rel=0.10)
+    # The slowest of a million reads lands in the seconds range
+    # (paper: just over 10 s, 374x the median).
+    assert s3["read"]["max"] > 100 * s3["read"]["p50"]
+    assert s3["read"]["max"] <= 10.5
+    # S3 Standard has both the highest median and tail latencies.
+    for other in (express, ddb, efs):
+        assert s3["read"]["p50"] > other["read"]["p50"]
+        assert s3["read"]["max"] > other["read"]["max"]
+    # S3 Express: ~5 ms, consistent (p95 close to the median).
+    assert express["read"]["p50"] == pytest.approx(0.005, rel=0.1)
+    assert express["read"]["p95"] < 1.5 * express["read"]["p50"]
+    # DynamoDB: slightly lower median than Express, but more variable.
+    assert ddb["read"]["p50"] < express["read"]["p50"]
+    assert ddb["read"]["p95"] / ddb["read"]["p50"] > \
+        express["read"]["p95"] / express["read"]["p50"]
+    # EFS: reads in the low-latency group, writes 2-3x slower.
+    assert efs["read"]["p50"] < 0.008
+    ratio = efs["write"]["p50"] / efs["read"]["p50"]
+    assert 2.0 <= ratio <= 3.5

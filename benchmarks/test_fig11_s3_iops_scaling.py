@@ -1,0 +1,70 @@
+"""Figure 11: S3 IOPS scaling from one to five prefix partitions.
+
+A Lambda cluster ramps from 20 to 100 instances (~300 read req/s each)
+against a fresh bucket; the S3 client uses a 200 ms timeout with
+exponential backoff. Paper shape: S3 scales nearly linearly from ~5.5K
+to ~27.5K IOPS over ~26 minutes (five partitions); the overall error
+rate stays around 10%; throughput dips appear when backoff turns
+individual clients into stragglers.
+"""
+
+import pytest
+
+from conftest import save_artifact
+from repro.analysis import relative_std
+from repro.core import CloudSim, ascii_timeseries
+from repro.core.micro import run_s3_iops_scaling
+
+
+def run_experiment():
+    sim = CloudSim(seed=11)
+    trace = run_s3_iops_scaling(sim)
+    return sim, trace
+
+
+def test_fig11_s3_iops_scaling(benchmark):
+    sim, trace = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    chart = ascii_timeseries(
+        list(zip([t / 60 for t in trace.times], trace.successful)),
+        title="Figure 11: successful read IOPS over time (x in minutes)")
+    save_artifact("fig11_s3_iops_scaling", chart)
+
+    # Scaling 1 -> 5 partitions, ~5.5K -> ~27.5K IOPS.
+    assert trace.partitions[0] == 1
+    assert trace.partitions[-1] == 5
+    assert trace.successful[0] <= 7_000
+    assert trace.final_iops == pytest.approx(27_500, rel=0.1)
+    # The overall process takes tens of minutes (paper: ~26 min).
+    duration_min = trace.times[-1] / 60.0
+    assert 20 <= duration_min <= 40
+    # Overall error rate around 10%.
+    assert 0.03 <= trace.error_rate() <= 0.25
+    # While scaling out, IOPS shows high variance (paper: relative
+    # standard deviation up to 29% for individual configurations) —
+    # client backoff produces visible dips.
+    mid = slice(len(trace.successful) // 4, 3 * len(trace.successful) // 4)
+    assert relative_std(trace.successful[mid]) > 5.0
+    # Tens of millions of requests were issued and counted by the hook.
+    total_requests = sim.s3().stats.total()
+    assert total_requests > 10_000_000
+    # IOPS never exceeds what the partitions can serve.
+    for iops, partitions in zip(trace.successful, trace.partitions):
+        assert iops <= partitions * 5_500 + 1e-6
+
+
+def test_fig11_write_iops_do_not_scale(benchmark):
+    """Section 4.4.1: continuous write load cannot split partitions."""
+
+    def run_writes():
+        sim = CloudSim(seed=12)
+        s3 = sim.s3()
+        now = 0.0
+        last = None
+        while now < 2 * 3_600.0:  # two hours of continuous write load
+            last = s3.offer_load(0.0, 12_000.0, elapsed=60.0, now=now)
+            now += 60.0
+        return s3, last
+
+    s3, last = benchmark.pedantic(run_writes, rounds=1, iterations=1)
+    assert s3.partition_count == 1
+    assert last.accepted_write == pytest.approx(3_500)

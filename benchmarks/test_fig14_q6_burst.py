@@ -1,0 +1,109 @@
+"""Figure 14: query worker throughput within and beyond the burst budget.
+
+TPC-H Q6 runs with workers assigned an increasing number of lineitem
+partitions. While a worker's effective scan volume (partitions x
+projected column bytes) stays inside the ~300 MiB network burst budget,
+throughput tracks the 1.2 GiB/s burst; beyond it, the worker falls into
+the 75 MiB/s baseline. Paper: queries fully exploiting the burst are up
+to 53% faster.
+"""
+
+import numpy as np
+
+from conftest import save_artifact
+from repro import units
+from repro.core import CloudSim, format_table
+from repro.datagen import load_table, scaled_spec
+from repro.engine import SkyriseEngine
+from repro.engine.queries import tpch_q6
+from repro.engine.tracing import trace_from_records
+
+PARTITION_COUNT = 24
+PARTITIONS_PER_WORKER = [1, 2, 4, 6, 8, 12]
+
+#: Q6 reads 4 of lineitem's 11 columns; byte-width fraction of the file.
+Q6_READ_FRACTION = 28.0 / 100.0
+PARTITION_BYTES = 182.4 * units.MiB
+
+#: Section 4.2 network model constants.
+BURST_BUDGET = 300 * units.MiB
+BURST_RATE = 1.2 * units.GiB
+BASELINE_RATE = 75 * units.MiB
+
+
+def expected_time(nbytes: float) -> float:
+    """Scan time under the token-bucket network model."""
+    if nbytes <= BURST_BUDGET:
+        return nbytes / BURST_RATE
+    return BURST_BUDGET / BURST_RATE + (nbytes - BURST_BUDGET) / BASELINE_RATE
+
+
+def run_experiment():
+    measurements = {}
+    for k in PARTITIONS_PER_WORKER:
+        # A fresh environment per setting: workers start with their full
+        # network budgets, as in the paper's controlled runs.
+        sim = CloudSim(seed=14)
+        s3 = sim.s3()
+        spec = scaled_spec("lineitem", PARTITION_COUNT,
+                           rows_per_partition=64)
+        metadata = sim.run(load_table(sim.env, s3, spec))
+        engine = SkyriseEngine(sim.env, sim.platform,
+                               storage={"s3-standard": s3})
+        engine.register_table(metadata)
+        engine.deploy()
+        fragments = PARTITION_COUNT // k
+        result = sim.run(engine.run_query(tpch_q6(scan_fragments=fragments)))
+        # Per-worker execution time from the trace (startup/dispatch
+        # overheads excluded): the figure compares the engine's layers,
+        # not cluster orchestration.
+        trace = trace_from_records("tpch-q6", sim.platform.records)
+        worker_s = float(np.median(
+            [span.duration for span in trace.stage("scan")]))
+        per_worker_bytes = k * PARTITION_BYTES * Q6_READ_FRACTION
+        measurements[k] = {
+            "bytes": per_worker_bytes,
+            "scan_s": worker_s,
+            "query_s": result.runtime,
+            "throughput": per_worker_bytes / worker_s,
+            "expected": per_worker_bytes / expected_time(per_worker_bytes),
+        }
+    return measurements
+
+
+def test_fig14_q6_burst(benchmark):
+    measurements = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [[k,
+             f"{m['bytes'] / units.MiB:.0f}",
+             f"{m['expected'] / units.GiB:.2f}",
+             f"{m['throughput'] / units.GiB:.2f}",
+             f"{m['query_s']:.2f}"]
+            for k, m in measurements.items()]
+    table = format_table(
+        ["Parts/worker", "Input [MiB]", "Model [GiB/s]", "Measured [GiB/s]",
+         "Query [s]"], rows,
+        title="Figure 14: Q6 worker throughput vs input size")
+    save_artifact("fig14_q6_burst", table)
+
+    within = [m for k, m in measurements.items()
+              if m["bytes"] <= BURST_BUDGET]
+    beyond = [m for k, m in measurements.items()
+              if m["bytes"] > 1.2 * BURST_BUDGET]
+    assert within and beyond
+    # Within the budget, throughput is CPU-bound well below the network
+    # model (the staircase of Figure 14: request handling, decompression,
+    # and query logic each eat a layer).
+    best_within = max(m["throughput"] for m in within)
+    assert 0.06 * units.GiB <= best_within <= 1.2 * units.GiB
+    for m in within:
+        assert m["throughput"] <= m["expected"] * 1.05
+    # Beyond the budget, throughput degrades further: the 75 MiB/s
+    # baseline network phase now dominates the scan.
+    worst_beyond = min(m["throughput"] for m in beyond)
+    assert worst_beyond < 0.75 * best_within
+    # Per-byte runtime: burst-aware sizing is substantially faster
+    # (paper: up to 53%).
+    within_per_byte = min(m["scan_s"] / m["bytes"] for m in within)
+    beyond_per_byte = max(m["scan_s"] / m["bytes"] for m in beyond)
+    speedup = 1.0 - within_per_byte / beyond_per_byte
+    assert speedup >= 0.30

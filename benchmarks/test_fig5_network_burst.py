@@ -1,0 +1,57 @@
+"""Figure 5: function network throughput at 20 ms intervals.
+
+A Lambda function measures inbound throughput for five seconds, pauses
+for three, and measures again. The paper's findings: an initial
+~1.2 GiB/s burst sustained for ~250 ms from a ~300 MiB budget, a spiky
+75 MiB/s baseline afterwards, and a shorter second burst because the
+bucket refills only halfway on idle.
+"""
+
+import pytest
+
+from conftest import save_artifact
+from repro import units
+from repro.core import CloudSim, ascii_timeseries
+from repro.core.micro import run_function_network_burst
+
+
+def run_experiment():
+    sim = CloudSim(seed=11)
+    inbound = run_function_network_burst(sim, duration=5.0, break_s=3.0,
+                                         direction="download")
+    sim_out = CloudSim(seed=11)
+    outbound = run_function_network_burst(sim_out, duration=5.0,
+                                          break_s=3.0, direction="upload")
+    return inbound, outbound
+
+
+def test_fig5_network_burst(benchmark):
+    (first_in, second_in), (first_out, __) = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1)
+    chart = ascii_timeseries(
+        [(t, r / units.GiB) for t, r in
+         zip(first_in.series.times(), first_in.series.rates())],
+        title="Figure 5 (inbound, first run): GiB/s over time")
+    save_artifact("fig5_network_burst", chart)
+
+    profile = first_in.burst_profile()
+    # Initial inbound burst: ~1.2 GiB/s for ~250 ms.
+    assert profile.burst_rate == pytest.approx(1.2 * units.GiB, rel=0.08)
+    assert 0.20 <= profile.burst_duration <= 0.30
+    # Token budget ~300 MiB.
+    assert profile.bucket_bytes == pytest.approx(300 * units.MiB, rel=0.25)
+    # Baseline: 7.5 MiB per 100 ms interval -> 75 MiB/s.
+    assert profile.baseline_rate == pytest.approx(75 * units.MiB, rel=0.15)
+    # The baseline is spiky at 20 ms sampling: idle windows exist.
+    tail = first_in.series.rates()[len(first_in.series.rates()) // 2:]
+    assert min(tail) == 0.0
+
+    # The burst is renewable but the second one is shorter (half refill).
+    second_profile = second_in.burst_profile()
+    assert second_profile.bucket_bytes < profile.bucket_bytes
+    assert second_profile.bucket_bytes == pytest.approx(
+        profile.bucket_bytes / 2, rel=0.35)
+
+    # Outbound bandwidth is reduced relative to inbound.
+    out_profile = first_out.burst_profile()
+    assert out_profile.burst_rate < profile.burst_rate

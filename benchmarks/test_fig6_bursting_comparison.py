@@ -1,0 +1,70 @@
+"""Figure 6: EC2 C6g and Lambda network bursting behaviour.
+
+For each EC2 instance size (and Lambda), report the token bucket size,
+the burst throughput, and the sustained baseline throughput. The paper's
+shape: both services burst; EC2 buckets (and burst durations) are
+substantially larger and grow with instance size; Lambda's bucket is
+small (~0.3 GiB) but its burst is significant.
+"""
+
+import pytest
+
+from conftest import save_artifact
+from repro import units
+from repro.core import CloudSim, format_table
+from repro.core.micro import run_ec2_network_profile
+from repro.core.micro.network import lambda_network_profile
+
+INSTANCES = ["c6g.medium", "c6g.xlarge", "c6g.4xlarge", "c6g.16xlarge"]
+
+
+def run_experiment():
+    profiles = {}
+    for instance in INSTANCES:
+        sim = CloudSim(seed=6)
+        __, profile = run_ec2_network_profile(sim, instance)
+        profiles[instance] = profile
+    profiles["lambda"] = lambda_network_profile(CloudSim(seed=6))
+    return profiles
+
+
+def test_fig6_bursting_comparison(benchmark):
+    profiles = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for name, profile in profiles.items():
+        rows.append([
+            name,
+            f"{profile.bucket_bytes / units.GiB:.2f}",
+            f"{profile.burst_rate / units.GiB:.2f}",
+            f"{profile.baseline_rate / units.GiB:.3f}",
+            f"{profile.burst_duration:.1f}",
+        ])
+    table = format_table(
+        ["System", "Bucket [GiB]", "Burst [GiB/s]", "Baseline [GiB/s]",
+         "Burst duration [s]"], rows,
+        title="Figure 6: network bursting, EC2 C6g vs Lambda")
+    save_artifact("fig6_bursting_comparison", table)
+
+    # EC2 bucket size and burst duration grow with instance size.
+    assert profiles["c6g.medium"].bucket_bytes \
+        < profiles["c6g.xlarge"].bucket_bytes \
+        < profiles["c6g.4xlarge"].bucket_bytes
+    assert profiles["c6g.medium"].burst_duration \
+        < profiles["c6g.4xlarge"].burst_duration
+    # Burstable sizes hit ~10 Gbps; 16xlarge runs at line rate (25 Gbps).
+    assert profiles["c6g.xlarge"].burst_rate == pytest.approx(
+        10 * units.Gbps, rel=0.1)
+    assert profiles["c6g.16xlarge"].baseline_rate == pytest.approx(
+        25 * units.Gbps, rel=0.1)
+    # EC2 baselines grow with size; Lambda's is constant and tiny.
+    assert profiles["c6g.medium"].baseline_rate \
+        < profiles["c6g.xlarge"].baseline_rate \
+        < profiles["c6g.16xlarge"].baseline_rate
+    # Lambda: small bucket (~0.3 GiB), yet a significant burst rate.
+    lam = profiles["lambda"]
+    assert lam.bucket_bytes == pytest.approx(0.3 * units.GiB, rel=0.3)
+    assert lam.bucket_bytes < profiles["c6g.medium"].bucket_bytes / 100
+    assert lam.burst_rate > 1.0 * units.GiB
+    # EC2 burst durations are minutes; Lambda's is sub-second.
+    assert profiles["c6g.xlarge"].burst_duration > 120
+    assert lam.burst_duration < 1.0

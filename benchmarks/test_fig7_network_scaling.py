@@ -1,0 +1,52 @@
+"""Figure 7: aggregated function network throughput, with/without VPC.
+
+32 to 256 concurrent network I/O functions measure against an iPerf
+server cluster. The paper's findings: burst and baseline bandwidth scale
+horizontally with the function count — except inside a customer-owned
+VPC, where aggregate throughput hits a hard ~20 GiB/s ceiling.
+"""
+
+import pytest
+
+from conftest import save_artifact
+from repro import units
+from repro.core import CloudSim, format_table
+from repro.core.micro import run_network_scaling
+
+COUNTS = [32, 64, 128, 256]
+
+
+def run_experiment():
+    peaks = {}
+    for count in COUNTS:
+        sim = CloudSim(seed=7)
+        series = run_network_scaling(sim, function_count=count,
+                                     duration=1.0)
+        peaks[("no-vpc", count)] = series.peak_rate()
+    for count in (128, 256):
+        sim = CloudSim(seed=7, use_vpc=True)
+        series = run_network_scaling(sim, function_count=count,
+                                     duration=1.0)
+        peaks[("vpc", count)] = series.peak_rate()
+    return peaks
+
+
+def test_fig7_network_scaling(benchmark):
+    peaks = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [[setting, count, f"{rate / units.GiB:.1f}"]
+            for (setting, count), rate in peaks.items()]
+    table = format_table(["Setting", "Functions", "Peak [GiB/s]"], rows,
+                         title="Figure 7: aggregate network throughput")
+    save_artifact("fig7_network_scaling", table)
+
+    # Outside a VPC, burst bandwidth scales horizontally: peak tracks
+    # count x 1.2 GiB/s.
+    for count in COUNTS:
+        expected = count * 1.2 * units.GiB
+        assert peaks[("no-vpc", count)] == pytest.approx(expected, rel=0.15)
+    # Inside a customer-owned VPC, a hard ~20 GiB/s limit appears.
+    for count in (128, 256):
+        assert peaks[("vpc", count)] <= 20 * units.GiB * 1.02
+        assert peaks[("vpc", count)] >= 18 * units.GiB
+    # The cap makes VPC throughput flat while non-VPC keeps scaling.
+    assert peaks[("no-vpc", 256)] > 10 * peaks[("vpc", 256)]

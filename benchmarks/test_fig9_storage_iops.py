@@ -1,0 +1,57 @@
+"""Figure 9: operations per second per serverless storage system.
+
+128 nodes x 32 threads send 1 KiB requests against fresh containers.
+Paper shape: standard S3 serves roughly one prefix partition's worth
+(lowest); S3 Express tops the field (~220K reads / 42K writes);
+DynamoDB lands slightly above its documented on-demand quotas
+(~16K / 9.6K); EFS misses its documented per-filesystem quotas by more
+than an order of magnitude, and sharding over two filesystems doubles
+read IOPS only.
+"""
+
+import pytest
+
+from conftest import save_artifact
+from repro.core import CloudSim, format_table
+from repro.core.micro import run_storage_iops
+from repro.storage.efs import EFS_READ_IOPS_QUOTA, EFS_WRITE_IOPS_QUOTA
+
+SERVICES = ["s3-standard", "s3-express", "dynamodb", "efs-1", "efs-2"]
+
+
+def run_experiment():
+    outcomes = {}
+    for service in SERVICES:
+        outcomes[service] = run_storage_iops(CloudSim(seed=9), service)
+    return outcomes
+
+
+def test_fig9_storage_iops(benchmark):
+    outcomes = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [[name, f"{o.achieved_read:,.0f}", f"{o.achieved_write:,.0f}"]
+            for name, o in outcomes.items()]
+    table = format_table(["Service", "Read IOPS", "Write IOPS"], rows,
+                         title="Figure 9: operations per second")
+    save_artifact("fig9_storage_iops", table)
+
+    # Standard S3: one prefix partition's request rates out of the box.
+    assert outcomes["s3-standard"].achieved_read == pytest.approx(5_500)
+    assert outcomes["s3-standard"].achieved_write == pytest.approx(3_500)
+    # S3 Express: highest IOPS of the comparison.
+    assert outcomes["s3-express"].achieved_read == pytest.approx(220_000)
+    assert outcomes["s3-express"].achieved_write == pytest.approx(42_000)
+    for other in ("s3-standard", "dynamodb", "efs-1", "efs-2"):
+        assert outcomes["s3-express"].achieved_read > \
+            outcomes[other].achieved_read
+    # DynamoDB: slightly above the documented on-demand table quotas.
+    assert outcomes["dynamodb"].achieved_read == pytest.approx(16_000)
+    assert outcomes["dynamodb"].achieved_write == pytest.approx(9_600)
+    # EFS misses its per-filesystem quotas by more than an order of
+    # magnitude ...
+    assert outcomes["efs-1"].achieved_read < EFS_READ_IOPS_QUOTA / 10
+    assert outcomes["efs-1"].achieved_write < EFS_WRITE_IOPS_QUOTA / 10
+    # ... read IOPS double with a second filesystem, writes do not.
+    assert outcomes["efs-2"].achieved_read == pytest.approx(
+        2 * outcomes["efs-1"].achieved_read)
+    assert outcomes["efs-2"].achieved_write == pytest.approx(
+        outcomes["efs-1"].achieved_write)

@@ -1,0 +1,62 @@
+"""Table 1: configuration and pricing of AWS compute services.
+
+Regenerates the Lambda (ARM) vs EC2 (C6g) comparison from the price
+catalog: memory/compute capacity ranges and unit prices.
+"""
+
+import pytest
+
+from conftest import save_artifact
+from repro import units
+from repro.core import format_table
+from repro.pricing import LAMBDA_PRICING, EC2_INSTANCES
+
+
+def build_table1():
+    c6g = [inst for name, inst in EC2_INSTANCES.items()
+           if name.startswith("c6g.")]
+    ec2_gib_hours = [inst.per_gib_hour for inst in c6g]
+    ec2_reserved_gib_hours = [inst.reserved_hourly_usd
+                              / (inst.memory_bytes / units.GiB)
+                              for inst in c6g]
+    lambda_gib_hour = LAMBDA_PRICING.per_gib_second * 3600
+    rows = [
+        ["Memory capacity [GiB]", "0.125 - 10",
+         f"{min(i.memory_bytes for i in c6g) / units.GiB:.0f} - "
+         f"{max(i.memory_bytes for i in c6g) / units.GiB:.0f}"],
+        ["Memory price [c/GiB-h]",
+         f"{lambda_gib_hour * 0.8 * 100:.2f} - {lambda_gib_hour * 100:.2f}",
+         f"{min(ec2_reserved_gib_hours) * 100:.2f} - "
+         f"{max(ec2_gib_hours) * 100:.2f}"],
+        ["Compute capacity [vCPU]",
+         f"{0.125 * units.GiB / LAMBDA_PRICING.memory_per_vcpu_bytes:.2f}"
+         f" - {10 * units.GiB / LAMBDA_PRICING.memory_per_vcpu_bytes:.2f}",
+         f"{min(i.vcpus for i in c6g)} - {max(i.vcpus for i in c6g)}"],
+        ["Compute price [c/vCPU-h]",
+         f"{lambda_gib_hour * 0.8 * 1.769 * 100:.2f} - "
+         f"{lambda_gib_hour * 1.769 * 100:.2f}",
+         f"{min(i.reserved_hourly_usd / i.vcpus for i in c6g) * 100:.2f} - "
+         f"{max(i.per_vcpu_hour for i in c6g) * 100:.2f}"],
+        ["Network bandwidth [Gbps]", "0.63 (constant)",
+         f"{min(i.network_baseline for i in c6g) / units.Gbps:.3g} - "
+         f"{max(i.network_baseline for i in c6g) / units.Gbps:.3g}"],
+    ]
+    return format_table(["Resource", "Lambda (ARM)", "EC2 (C6g)"], rows,
+                        title="Table 1: compute configuration and pricing")
+
+
+def test_table1_compute_pricing(benchmark):
+    table = benchmark.pedantic(build_table1, rounds=1, iterations=1)
+    save_artifact("table1_compute_pricing", table)
+    # Shape assertions from the paper's Table 1 commentary:
+    lambda_gib_hour = LAMBDA_PRICING.per_gib_second * 3600
+    xlarge = EC2_INSTANCES["c6g.xlarge"]
+    # Lambda memory unit price 2.5 - 5.9x EC2's.
+    ratio = lambda_gib_hour / xlarge.per_gib_hour
+    assert 2.5 <= ratio <= 5.9
+    # Lambda memory prices around 3.84 - 4.80 c/GiB-h.
+    assert lambda_gib_hour * 100 == pytest.approx(4.80, rel=0.01)
+    # Functions are an order of magnitude smaller than VMs.
+    assert 10 * units.GiB < max(i.memory_bytes
+                                for name, i in EC2_INSTANCES.items()
+                                if name.startswith("c6g."))

@@ -1,0 +1,50 @@
+"""Table 2: pricing of AWS serverless storage services."""
+
+import pytest
+
+from conftest import save_artifact
+from repro import units
+from repro.core import format_table
+from repro.pricing import STORAGE_PRICES
+
+
+def build_table2():
+    rows = []
+    for name in ("s3-standard", "s3-express", "dynamodb", "efs"):
+        pricing = STORAGE_PRICES[name]
+        rows.append([
+            name,
+            f"{pricing.read_request * 1e6 * 100:.0f}",
+            f"{pricing.write_request * 1e6 * 100:.0f}",
+            f"{pricing.read_transfer_per_gib * 100:.2f}",
+            f"{pricing.write_transfer_per_gib * 100:.2f}",
+            f"{pricing.storage_per_gib_month * 100:.1f}",
+        ])
+    return format_table(
+        ["Service", "Read [c/M]", "Write [c/M]", "Read xfer [c/GiB]",
+         "Write xfer [c/GiB]", "Storage [c/GiB-mo]"], rows,
+        title="Table 2: serverless storage pricing (us-east-1)")
+
+
+def test_table2_storage_pricing(benchmark):
+    table = benchmark.pedantic(build_table2, rounds=1, iterations=1)
+    save_artifact("table2_storage_pricing", table)
+    s3 = STORAGE_PRICES["s3-standard"]
+    express = STORAGE_PRICES["s3-express"]
+    ddb = STORAGE_PRICES["dynamodb"]
+    efs = STORAGE_PRICES["efs"]
+    # S3 is by an order of magnitude the cheapest at rest.
+    assert ddb.storage_per_gib_month >= 10 * s3.storage_per_gib_month
+    # S3 request prices are the highest among request-priced services.
+    assert s3.read_request > express.read_request
+    assert s3.read_request > ddb.read_request
+    # EFS charges no requests but the highest transfer fees.
+    assert efs.read_request == 0
+    assert efs.read_transfer_per_gib > express.read_transfer_per_gib
+    # Express charges 24 - 115x more than standard S3 in the 8-16 MiB
+    # throughput-optimal range (Section 2.2).
+    for size in (8 * units.MiB, 16 * units.MiB):
+        ratio = express.read_cost(1, size) / s3.read_cost(1, size)
+        assert 20 <= ratio <= 120
+    # Keeping S3 warm at 100K IOPS costs ~$144/hour (Section 2.2).
+    assert 100_000 * 3600 * s3.read_request == pytest.approx(144.0)

@@ -1,0 +1,64 @@
+"""Table 5: performance variability between and within regions.
+
+The query suite runs repeatedly in us-east-1, eu-west-1, and
+ap-northeast-1 under two protocols: *cold* (15-minute gaps, sandboxes
+reclaimed, conditions redrawn — the paper measures over a workday) and
+*warm* (back-to-back, three hours). Metrics: median-to-US-median ratio
+(MR) and coefficient of variation (CoV).
+
+Paper shape: EU runs ~1.5x slower than the US in both protocols (slow
+cluster startup); AP is on par with the US (~0.95); cold-usage
+variability is highest in the US (CoV ~23%) and drops sharply with
+frequent usage (~5%), while the EU's warm CoV exceeds its cold CoV.
+"""
+
+from conftest import save_artifact
+from repro.core import format_table
+from repro.workloads import (
+    SuiteSetup,
+    run_variability_experiment,
+    table5_metrics,
+)
+
+RUNS = 10
+
+
+def run_experiment():
+    setup = SuiteSetup(lineitem_partitions=4, orders_partitions=2,
+                       clickstreams_partitions=2, rows_per_partition=96)
+    cold = table5_metrics(run_variability_experiment(
+        "cold", runs=RUNS, setup=setup, seed=5))
+    warm = table5_metrics(run_variability_experiment(
+        "warm", runs=RUNS, setup=setup, seed=6))
+    return cold, warm
+
+
+def test_table5_variability(benchmark):
+    cold, warm = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    regions = ["us-east-1", "eu-west-1", "ap-northeast-1"]
+    rows = []
+    for label, metrics in (("Cold MR", cold), ("Cold CoV [%]", cold),
+                           ("Warm MR", warm), ("Warm CoV [%]", warm)):
+        key = "MR" if "MR" in label else "CoV_percent"
+        rows.append([label] + [f"{metrics[r][key]:.2f}" for r in regions])
+    table = format_table(["Measure", "US", "EU", "AP"], rows,
+                         title=f"Table 5: variability over {RUNS} runs")
+    save_artifact("table5_variability", table)
+
+    # MR: EU ~1.5x the US; AP on par (paper: 1.48/1.52 and 0.95/0.96).
+    for metrics in (cold, warm):
+        assert metrics["us-east-1"]["MR"] == 1.0
+        assert 1.25 <= metrics["eu-west-1"]["MR"] <= 1.8
+        assert 0.85 <= metrics["ap-northeast-1"]["MR"] <= 1.1
+    # Cold-usage variability is highest in the US (paper: 22.65%) and
+    # exceeds the EU's by a wide margin (paper: 4.76%).
+    assert cold["us-east-1"]["CoV_percent"] > \
+        2 * cold["eu-west-1"]["CoV_percent"]
+    # More frequent usage brings robustness: the US warm CoV is far
+    # below its cold CoV (paper: 5.23 vs 22.65).
+    assert warm["us-east-1"]["CoV_percent"] < \
+        0.6 * cold["us-east-1"]["CoV_percent"]
+    # In the EU the picture inverts: warm variability exceeds cold
+    # (paper: 8.96 vs 4.76).
+    assert warm["eu-west-1"]["CoV_percent"] > \
+        cold["eu-west-1"]["CoV_percent"]

@@ -1,0 +1,153 @@
+"""Table 6: execution statistics and compute break-even points.
+
+TPC-H Q6 and Q12 run on identical plans in both deployments: warm Lambda
+functions vs a pre-provisioned C6g.xlarge cluster. Reported per query:
+IaaS and FaaS runtimes, cumulated FaaS function time, FaaS cost, the
+break-even query throughput against a peak-provisioned cluster, the
+intra-query peak-to-average node ratio, and the storage request profile.
+
+Paper shape (at SF1000): FaaS runtimes 6-10% above IaaS; break-even
+throughputs of hundreds (Q6) and ~a hundred (Q12) queries/hour;
+peak-to-average ratios of ~2.2-2.4x; Q12 needs ~20x more storage
+requests than Q6, with shuffle I/O sizes from ~1 KiB to MiBs.
+"""
+
+from conftest import save_artifact
+from repro import units
+from repro.core import CloudSim, format_table
+from repro.datagen import load_table, scaled_spec
+from repro.engine import SkyriseEngine
+from repro.engine.queries import tpch_q6, tpch_q12
+from repro.iaas import VmShim
+from repro.pricing import faas_break_even_queries_per_hour, ec2_instance
+
+LINEITEM_PARTITIONS = 48
+ORDERS_PARTITIONS = 12
+JOIN_FRAGMENTS = 24
+
+
+def build_engine(backend: str):
+    sim = CloudSim(seed=16)
+    s3 = sim.s3()
+    lineitem = sim.run(load_table(
+        sim.env, s3, scaled_spec("lineitem", LINEITEM_PARTITIONS,
+                                 rows_per_partition=64)))
+    orders = sim.run(load_table(
+        sim.env, s3, scaled_spec("orders", ORDERS_PARTITIONS,
+                                 rows_per_partition=256)))
+    if backend == "faas":
+        platform = sim.platform
+    else:
+        # Peak stage width (Q12: both scans run concurrently) plus the
+        # coordinator's own slot.
+        peak = LINEITEM_PARTITIONS + ORDERS_PARTITIONS + 2
+        instances = sim.run(sim.fleet.provision("c6g.xlarge", count=peak))
+        platform = VmShim(sim.env, instances, slots_per_vm=1)
+    engine = SkyriseEngine(sim.env, platform, storage={"s3-standard": s3})
+    engine.register_table(lineitem)
+    engine.register_table(orders)
+    engine.deploy()
+    return sim, engine
+
+
+def plans():
+    return {
+        "H-Q6": tpch_q6(scan_fragments=LINEITEM_PARTITIONS),
+        "H-Q12": tpch_q12(lineitem_fragments=LINEITEM_PARTITIONS,
+                          orders_fragments=ORDERS_PARTITIONS,
+                          join_fragments=JOIN_FRAGMENTS),
+    }
+
+
+RUNS = 5
+
+
+def median_run(sim, engine, plan, runs=RUNS):
+    """Re-run the query and keep the run with the median runtime.
+
+    Mirrors the paper: "we run the query suite ten times each and
+    collect statistics from the run with the median runtime"; idle gaps
+    between runs let the sandbox network budgets refill.
+    """
+    results = []
+    for _ in range(runs):
+        results.append(sim.run(engine.run_query(plan)))
+        sim.run(_sleep(sim.env, 10.0))
+    results.sort(key=lambda r: r.runtime)
+    return results[len(results) // 2]
+
+
+def _sleep(env, seconds):
+    yield env.timeout(seconds)
+
+
+def run_experiment():
+    stats = {}
+    for query, plan in plans().items():
+        sim_f, engine_f = build_engine("faas")
+        # Warm the functions (the paper warms up before measuring).
+        sim_f.run(engine_f.run_query(plan))
+        faas = median_run(sim_f, engine_f, plan)
+        sim_v, engine_v = build_engine("iaas")
+        iaas = median_run(sim_v, engine_v, plan)
+        vm = ec2_instance("c6g.xlarge")
+        break_even = faas_break_even_queries_per_hour(
+            faas_cost_per_query=faas.cost_cents / 100.0,
+            vm_hourly_usd=vm.hourly_usd,
+            peak_vms=faas.peak_fragments)
+        sizes = sorted(faas.request_sizes)
+        stats[query] = {
+            "iaas_runtime": iaas.runtime,
+            "faas_runtime": faas.runtime,
+            "cumulated": faas.cumulated_time,
+            "faas_cost_cents": faas.cost_cents,
+            "break_even_qph": break_even,
+            "peak_to_avg": faas.peak_to_average_nodes(),
+            "requests": faas.requests,
+            "shuffle_io_min_kib": sizes[0] / units.KiB,
+            "shuffle_io_max_kib": sizes[-1] / units.KiB,
+            "storage_cost_cents": faas.storage_cost_cents,
+        }
+    return stats
+
+
+def test_table6_breakeven_compute(benchmark):
+    stats = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for metric, key, fmt in [
+            ("IaaS runtime [s]", "iaas_runtime", "{:.2f}"),
+            ("FaaS runtime [s]", "faas_runtime", "{:.2f}"),
+            ("Cumulated time [s]", "cumulated", "{:.1f}"),
+            ("FaaS cost [c]", "faas_cost_cents", "{:.3f}"),
+            ("Break-even [Q/h]", "break_even_qph", "{:.0f}"),
+            ("Peak-to-average nodes", "peak_to_avg", "{:.2f}"),
+            ("Storage requests", "requests", "{:,.0f}"),
+            ("Storage cost [c]", "storage_cost_cents", "{:.3f}")]:
+        rows.append([metric] + [fmt.format(stats[q][key])
+                                for q in ("H-Q6", "H-Q12")])
+    table = format_table(["Metric", "H-Q6", "H-Q12"], rows,
+                         title="Table 6: FaaS vs IaaS execution statistics")
+    save_artifact("table6_breakeven_compute", table)
+
+    q6, q12 = stats["H-Q6"], stats["H-Q12"]
+    # FaaS end-to-end latency is modestly higher than IaaS (paper: +10%
+    # for Q6, +6% for Q12; warm functions, so the gap stays small).
+    for q in (q6, q12):
+        assert q["faas_runtime"] >= q["iaas_runtime"] * 0.98
+        assert q["faas_runtime"] <= q["iaas_runtime"] * 1.6
+    # Q12 costs several times more than Q6 (paper: 21.19 vs 4.87 cents),
+    # so its break-even throughput is several times lower (128 vs 558).
+    assert q12["faas_cost_cents"] > 2 * q6["faas_cost_cents"]
+    assert q6["break_even_qph"] > 2 * q12["break_even_qph"]
+    # Cumulated function time vastly exceeds the runtime (parallelism).
+    assert q6["cumulated"] > 3 * q6["faas_runtime"]
+    # Intra-query elasticity headroom (paper: 2.21x / 2.43x).
+    assert q12["peak_to_avg"] > 1.3
+    # Q12's shuffle needs an order of magnitude more storage requests
+    # (paper: 30,033 vs 1,401) at higher storage cost.
+    assert q12["requests"] > 5 * q6["requests"]
+    assert q12["storage_cost_cents"] > q6["storage_cost_cents"]
+    # Shuffle I/O sizes range from ~KiB to MiB scale (paper: 1.1 KiB -
+    # 2,078 KiB for Q12).
+    assert q12["shuffle_io_min_kib"] < 100.0
+    assert q12["shuffle_io_max_kib"] > 1_000.0

@@ -1,0 +1,106 @@
+"""Table 7: break-even intervals in the cloud storage hierarchy.
+
+Gray's five-minute rule, revisited for cloud pricing: for each access
+size and each (tier-1 / tier-2) pairing, the interval between accesses at
+which caching in tier 1 costs the same as re-reading from tier 2.
+
+Calibration (documented in EXPERIMENTS.md): RAM at its marginal EC2
+price (~$2/GiB-month, from C6g/R6g deltas); the NVMe tier as a
+C6gd-class local SSD (~427K read IOPS, 2 GiB/s, rent from the C6gd/C6g
+price delta); EBS as a 1 TB gp3 volume at maximum provisioned
+performance.
+
+Paper shape: RAM/SSD break-evens are tens of seconds and flat beyond
+16 KiB (the 2 GiB/s SSD bandwidth binds); RAM/EBS sits at minutes;
+RAM/S3 spans days (4 KiB) down to seconds (16 MiB); transfer fees make
+S3 Express and cross-region S3 lose the inverse proportionality.
+"""
+
+import pytest
+
+from conftest import save_artifact
+from repro import units
+from repro.core import format_table
+from repro.pricing import EBS_GP3, STORAGE_PRICES
+from repro.pricing.breakeven import (
+    CapacityTier,
+    break_even_interval_capacity,
+    break_even_interval_requests,
+)
+from repro.pricing.catalog import MARGINAL_RAM_PER_GIB_HOUR
+
+ACCESS_SIZES = [4 * units.KiB, 16 * units.KiB, 4 * units.MiB, 16 * units.MiB]
+
+RAM_PER_MIB_HOUR = MARGINAL_RAM_PER_GIB_HOUR / 1024.0
+
+NVME = CapacityTier(name="nvme", rent_per_hour=0.17, iops=427_000,
+                    bandwidth=2 * units.GiB)
+EBS = CapacityTier(
+    name="ebs-gp3", rent_per_hour=EBS_GP3.volume_hourly_usd(
+        1_000 * units.GB, iops=EBS_GP3.max_iops,
+        throughput=EBS_GP3.max_throughput),
+    iops=EBS_GP3.max_iops, bandwidth=EBS_GP3.max_throughput)
+
+#: SSD as tier 1: its rent spread over its capacity.
+SSD_PER_MIB_HOUR = NVME.rent_per_hour / (3_539 * 1024)
+
+
+def run_experiment():
+    cells = {}
+    for size in ACCESS_SIZES:
+        cells[("RAM/SSD", size)] = break_even_interval_capacity(
+            size, NVME, RAM_PER_MIB_HOUR)
+        cells[("RAM/EBS", size)] = break_even_interval_capacity(
+            size, EBS, RAM_PER_MIB_HOUR)
+        for service, label in [("s3-standard", "RAM/S3 Standard"),
+                               ("s3-express", "RAM/S3 Express")]:
+            cells[(label, size)] = break_even_interval_requests(
+                size, STORAGE_PRICES[service], RAM_PER_MIB_HOUR)
+        for service, label in [("s3-standard", "SSD/S3 Standard"),
+                               ("s3-express", "SSD/S3 Express"),
+                               ("s3-x-region", "SSD/S3 X-Region")]:
+            cells[(label, size)] = break_even_interval_requests(
+                size, STORAGE_PRICES[service], SSD_PER_MIB_HOUR)
+    return cells
+
+
+def test_table7_break_even_intervals(benchmark):
+    cells = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    tiers = ["RAM/SSD", "RAM/EBS", "RAM/S3 Standard", "RAM/S3 Express",
+             "SSD/S3 Standard", "SSD/S3 Express", "SSD/S3 X-Region"]
+    rows = [[tier] + [units.fmt_duration(cells[(tier, size)])
+                      for size in ACCESS_SIZES] for tier in tiers]
+    table = format_table(
+        ["Tiers", "4 KiB", "16 KiB", "4 MiB", "16 MiB"], rows,
+        title="Table 7: break-even intervals (us-east-1)")
+    save_artifact("table7_break_even_intervals", table)
+
+    # RAM/SSD: tens of seconds (paper: 38 s at 4 KiB) ...
+    assert 20 <= cells[("RAM/SSD", 4 * units.KiB)] <= 60
+    # ... and flat beyond the bandwidth knee (paper: 31 s from 16 KiB on).
+    assert cells[("RAM/SSD", 16 * units.KiB)] == pytest.approx(
+        cells[("RAM/SSD", 16 * units.MiB)], rel=0.01)
+    # RAM/EBS: minutes (paper: 27 min at 4 KiB down to 3 min).
+    assert 10 * 60 <= cells[("RAM/EBS", 4 * units.KiB)] <= 60 * 60
+    assert cells[("RAM/EBS", 4 * units.MiB)] < \
+        cells[("RAM/EBS", 4 * units.KiB)] / 4
+    # RAM/S3: days at 4 KiB (paper: 2 d) down to well under two minutes
+    # at 16 MiB (paper: 41 s) — the cold-data sweet spot.
+    assert 1.0 <= cells[("RAM/S3 Standard", 4 * units.KiB)] / units.DAY <= 3.0
+    assert cells[("RAM/S3 Standard", 16 * units.MiB)] <= 100
+    # Transfer fees invalidate the inverse size proportionality: the
+    # Express interval stops shrinking (paper: 36 -> 39 min).
+    express_4m = cells[("RAM/S3 Express", 4 * units.MiB)]
+    express_16m = cells[("RAM/S3 Express", 16 * units.MiB)]
+    assert express_16m > 0.75 * express_4m
+    standard_ratio = cells[("RAM/S3 Standard", 4 * units.MiB)] \
+        / cells[("RAM/S3 Standard", 16 * units.MiB)]
+    express_ratio = express_4m / express_16m
+    assert standard_ratio > 3 * express_ratio
+    # SSD caching is economical across a wide range: SSD/S3 break-evens
+    # sit at days for small accesses (paper: 59 d at 4 KiB, 1 h at 4 MiB).
+    assert cells[("SSD/S3 Standard", 4 * units.KiB)] > 20 * units.DAY
+    assert cells[("SSD/S3 Standard", 4 * units.MiB)] < 6 * units.HOUR
+    # Cross-region transfer fees push the break-even to weeks even for
+    # large accesses (paper: 11 d at 16 MiB).
+    assert cells[("SSD/S3 X-Region", 16 * units.MiB)] > 4 * units.DAY

@@ -1,0 +1,78 @@
+"""Table 8: break-even access sizes for shuffling through object storage.
+
+Object storage charges per request regardless of size; a provisioned
+VM cluster's shuffle capacity is its aggregate network bandwidth. The
+break-even access size (BEAS) is where object-storage shuffling becomes
+the cheaper medium. Shuffle cost is dominated by the read requests
+(every consumer reads from every producer), so the read price drives
+the break-even.
+
+Paper shape: ~2 MiB for C6g instances (constant within the family, since
+network grows with price), larger for the network-optimized C6gn variant
+(~7 MiB on-demand) and larger still under reserved pricing (~16 MiB);
+S3 Express never breaks even because of its per-byte transfer fees.
+"""
+
+import pytest
+
+from conftest import save_artifact
+from repro import units
+from repro.core import format_table
+from repro.pricing import STORAGE_PRICES, break_even_access_size, ec2_instance
+
+CONFIGS = [
+    ("c6g.xlarge", False),
+    ("c6g.8xlarge", False),
+    ("c6gn.xlarge", False),
+    ("c6gn.xlarge", True),
+]
+
+
+def run_experiment():
+    cells = {}
+    for instance_name, reserved in CONFIGS:
+        instance = ec2_instance(instance_name)
+        rent = (instance.reserved_hourly_usd if reserved
+                else instance.hourly_usd)
+        for service in ("s3-standard", "s3-express"):
+            cells[(instance_name, reserved, service)] = \
+                break_even_access_size(
+                    STORAGE_PRICES[service],
+                    server_bandwidth=instance.network_baseline,
+                    server_rent_per_hour=rent, read=True)
+    return cells
+
+
+def test_table8_break_even_access(benchmark):
+    cells = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for instance_name, reserved in CONFIGS:
+        pricing = "reserved" if reserved else "on-demand"
+        std = cells[(instance_name, reserved, "s3-standard")]
+        express = cells[(instance_name, reserved, "s3-express")]
+        rows.append([
+            f"{instance_name} ({pricing})",
+            f"{std / units.MiB:.1f} MiB" if std else "-",
+            f"{express / units.MiB:.1f} MiB" if express else "-",
+        ])
+    table = format_table(["Instance", "S3 Standard", "S3 Express"], rows,
+                         title="Table 8: shuffle break-even access sizes")
+    save_artifact("table8_break_even_access", table)
+
+    base = cells[("c6g.xlarge", False, "s3-standard")]
+    big = cells[("c6g.8xlarge", False, "s3-standard")]
+    network = cells[("c6gn.xlarge", False, "s3-standard")]
+    reserved = cells[("c6gn.xlarge", True, "s3-standard")]
+    # ~2 MiB for C6g (paper: 2 MiB), constant within the family.
+    assert base == pytest.approx(2 * units.MiB, rel=0.5)
+    assert big == pytest.approx(base, rel=0.35)
+    # C6gn's 4x network at a modest premium raises the break-even
+    # (paper: 7 MiB); reserved pricing raises it further (paper: 16 MiB).
+    assert network > 2 * base
+    assert reserved > 1.5 * network
+    # S3 Express never breaks even with VM clusters (transfer fees).
+    for instance_name, is_reserved in CONFIGS:
+        assert cells[(instance_name, is_reserved, "s3-express")] is None
+    # Typical distributed-query shuffle I/Os (KiB scale, Table 6) sit
+    # below every break-even: the motivation for write combining.
+    assert base > 100 * units.KiB

@@ -1,0 +1,13 @@
+"""Pytest root configuration.
+
+Ensures ``src/`` is importable even when the package has not been
+pip-installed (e.g. in offline environments where editable installs
+cannot build wheels).
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

@@ -1,0 +1,90 @@
+"""Scenario: should this analytics workload run on Lambda or on VMs?
+
+Runs the same TPC-H queries on both deployments of the Skyrise engine
+(cloud functions vs a provisioned EC2 cluster via the shim layer),
+measures runtime and cost, and computes the break-even query throughput
+below which the serverless deployment is the economical choice
+(Section 5.2).
+
+Run with::
+
+    python examples/faas_vs_iaas_economics.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.core import CloudSim, format_table
+from repro.datagen import load_table, scaled_spec
+from repro.engine import SkyriseEngine
+from repro.engine.queries import tpch_q6, tpch_q12
+from repro.iaas import VmShim
+from repro.pricing import ec2_instance, faas_break_even_queries_per_hour
+
+LINEITEM_PARTITIONS = 24
+ORDERS_PARTITIONS = 6
+
+
+def build(backend: str):
+    sim = CloudSim(seed=3)
+    s3 = sim.s3()
+    lineitem = sim.run(load_table(sim.env, s3, scaled_spec(
+        "lineitem", LINEITEM_PARTITIONS, rows_per_partition=64)))
+    orders = sim.run(load_table(sim.env, s3, scaled_spec(
+        "orders", ORDERS_PARTITIONS, rows_per_partition=256)))
+    if backend == "faas":
+        platform = sim.platform
+    else:
+        instances = sim.run(sim.fleet.provision(
+            "c6g.xlarge", count=LINEITEM_PARTITIONS + ORDERS_PARTITIONS + 2))
+        platform = VmShim(sim.env, instances, slots_per_vm=1)
+    engine = SkyriseEngine(sim.env, platform, storage={"s3-standard": s3})
+    engine.register_table(lineitem)
+    engine.register_table(orders)
+    engine.deploy()
+    return sim, engine
+
+
+def main() -> None:
+    plans = {
+        "Q6": tpch_q6(scan_fragments=LINEITEM_PARTITIONS),
+        "Q12": tpch_q12(lineitem_fragments=LINEITEM_PARTITIONS,
+                        orders_fragments=ORDERS_PARTITIONS,
+                        join_fragments=12),
+    }
+    vm = ec2_instance("c6g.xlarge")
+    rows = []
+    for name, plan in plans.items():
+        sim_f, engine_f = build("faas")
+        sim_f.run(engine_f.run_query(plan))  # warm the functions
+        faas = sim_f.run(engine_f.run_query(plan))
+        sim_v, engine_v = build("iaas")
+        iaas = sim_v.run(engine_v.run_query(plan))
+        break_even = faas_break_even_queries_per_hour(
+            faas_cost_per_query=faas.cost_cents / 100.0,
+            vm_hourly_usd=vm.hourly_usd, peak_vms=faas.peak_fragments)
+        rows.append([
+            name,
+            f"{iaas.runtime:.2f}",
+            f"{faas.runtime:.2f}",
+            f"{faas.cost_cents:.3f}",
+            f"{break_even:,.0f}",
+            f"{faas.peak_to_average_nodes():.2f}x",
+        ])
+    print(format_table(
+        ["Query", "IaaS [s]", "FaaS [s]", "FaaS cost [c]",
+         "Break-even [Q/h]", "Peak/avg nodes"],
+        rows, title="FaaS vs IaaS deployment economics"))
+    print("\nreading the table:")
+    print(" * FaaS runtimes carry per-stage invocation overhead, so they")
+    print("   trail the pre-provisioned cluster slightly (Section 5.2).")
+    print(" * Below the break-even throughput, pay-per-query beats paying")
+    print("   for a peak-provisioned cluster around the clock.")
+    print(" * The peak-to-average node ratio is the additional saving")
+    print("   intra-query elasticity offers over static provisioning.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Quickstart: run a TPC-H query on the simulated serverless stack.
+
+Builds a simulated AWS region (Lambda + S3 on a discrete-event network
+fabric), loads a shrunken TPC-H lineitem table whose partition files
+keep the paper's SF1000 density, deploys the Skyrise query engine as
+cloud functions, and executes TPC-H Q6 end to end.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro import units
+from repro.core import CloudSim, format_table
+from repro.datagen import load_table, scaled_spec
+from repro.engine import SkyriseEngine
+from repro.engine.queries import tpch_q6
+
+
+def main() -> None:
+    # 1. A simulated AWS region: event-driven clock, network fabric,
+    #    Lambda platform, and storage services.
+    sim = CloudSim(seed=42)
+    s3 = sim.s3()
+
+    # 2. Load TPC-H lineitem: 12 partition files at SF1000 density
+    #    (182.4 MiB logical each) with laptop-sized physical rows.
+    spec = scaled_spec("lineitem", partitions=12, rows_per_partition=512)
+    metadata = sim.run(load_table(sim.env, s3, spec))
+    print(f"loaded {metadata.partition_count} partitions, "
+          f"{metadata.total_rows:,} rows, "
+          f"{metadata.total_logical_bytes / units.GiB:.1f} GiB logical")
+
+    # 3. Deploy the Skyrise engine onto the Lambda platform.
+    engine = SkyriseEngine(sim.env, sim.platform,
+                           storage={"s3-standard": s3})
+    engine.register_table(metadata)
+    engine.deploy()
+
+    # 4. Run TPC-H Q6. The coordinator function compiles a distributed
+    #    plan with burst-aware worker sizing and fans out worker
+    #    functions; intermediates flow through S3.
+    result = sim.run(engine.run_query(tpch_q6()))
+
+    print(f"\nQ6 revenue: {result.batch.column('revenue')[0]:,.2f}")
+    print(format_table(
+        ["Metric", "Value"],
+        [["Query runtime [s]", f"{result.runtime:.2f}"],
+         ["Scan workers", result.fragments["scan"]],
+         ["Cumulated function time [s]", f"{result.cumulated_time:.1f}"],
+         ["Storage requests", result.requests],
+         ["Query cost [cents]", f"{result.cost_cents:.3f}"]],
+        title="Execution summary"))
+    print("\nPer-stage breakdown:")
+    for stage in result.stages:
+        print(f"  {stage.pipeline:<8} fragments={stage.fragments:<4} "
+              f"duration={stage.duration:.3f}s "
+              f"read={stage.bytes_read / units.MiB:,.0f} MiB")
+
+
+if __name__ == "__main__":
+    main()

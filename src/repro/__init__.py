@@ -1,0 +1,21 @@
+"""Skyrise reproduction: serverless cloud infrastructure for data processing.
+
+A full reproduction of "An Empirical Evaluation of Serverless Cloud
+Infrastructure for Large-Scale Data Processing" (EDBT 2025) on a
+discrete-event simulation of the AWS serverless stack.
+
+Entry points:
+
+* :class:`repro.core.CloudSim` — a simulated AWS region (Lambda, EC2,
+  S3/S3 Express/DynamoDB/EFS on an event-driven network fabric);
+* :class:`repro.engine.SkyriseEngine` — the serverless query engine;
+* :class:`repro.core.Driver` — the experiment framework driving the
+  paper's microbenchmarks and query workloads;
+* :mod:`repro.pricing` — AWS price catalog and the break-even formulas
+  of the paper's economic analysis.
+
+See README.md for a quickstart, DESIGN.md for the system inventory, and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"

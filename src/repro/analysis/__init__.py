@@ -1,0 +1,23 @@
+"""Statistics and model fitting for experiment analysis."""
+
+from repro.analysis.stats import (
+    coefficient_of_variation,
+    median_ratio,
+    percentiles,
+    relative_std,
+)
+from repro.analysis.fitting import (
+    PolynomialFit,
+    extrapolate_scaling,
+    fit_polynomial,
+)
+
+__all__ = [
+    "PolynomialFit",
+    "coefficient_of_variation",
+    "extrapolate_scaling",
+    "fit_polynomial",
+    "median_ratio",
+    "percentiles",
+    "relative_std",
+]

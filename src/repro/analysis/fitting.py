@@ -1,0 +1,75 @@
+"""Polynomial fitting and extrapolation (Figure 12).
+
+The paper measures S3 IOPS scaling up to five prefix partitions and
+extrapolates the time and request budget needed for up to 20 partitions
+(110K IOPS) via polynomial fits of the measured (partitions, time) and
+(partitions, cost) points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass
+class PolynomialFit:
+    """A fitted polynomial with convenience evaluation."""
+
+    coefficients: np.ndarray
+    degree: int
+
+    def __call__(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Evaluate the polynomial."""
+        result = np.polyval(self.coefficients, x)
+        if np.isscalar(x):
+            return float(result)
+        return result
+
+    def residuals(self, xs: Sequence[float],
+                  ys: Sequence[float]) -> np.ndarray:
+        """Fit residuals over the given points."""
+        return np.asarray(ys, dtype=np.float64) - np.polyval(
+            self.coefficients, np.asarray(xs, dtype=np.float64))
+
+
+def fit_polynomial(xs: Sequence[float], ys: Sequence[float],
+                   degree: int = 2) -> PolynomialFit:
+    """Least-squares polynomial fit of the given degree."""
+    xs = np.asarray(list(xs), dtype=np.float64)
+    ys = np.asarray(list(ys), dtype=np.float64)
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must be equally long")
+    if len(xs) <= degree:
+        raise ValueError(
+            f"need more than {degree} points for a degree-{degree} fit")
+    coefficients = np.polyfit(xs, ys, degree)
+    return PolynomialFit(coefficients=coefficients, degree=degree)
+
+
+def extrapolate_scaling(measured_partitions: Sequence[float],
+                        measured_time_s: Sequence[float],
+                        measured_cost_usd: Sequence[float],
+                        target_partitions: Sequence[int],
+                        degree: int = 2) -> list[dict]:
+    """Figure 12: extrapolate S3 scaling time and budget.
+
+    Fits polynomials over the measured points and evaluates them at the
+    target partition counts; each result row carries the partition count,
+    the implied IOPS (5.5K per partition), and the extrapolated time and
+    cost.
+    """
+    time_fit = fit_polynomial(measured_partitions, measured_time_s, degree)
+    cost_fit = fit_polynomial(measured_partitions, measured_cost_usd, degree)
+    rows = []
+    for partitions in target_partitions:
+        rows.append({
+            "partitions": int(partitions),
+            "iops": 5_500.0 * partitions,
+            "time_s": max(0.0, float(time_fit(partitions))),
+            "cost_usd": max(0.0, float(cost_fit(partitions))),
+            "measured": partitions <= max(measured_partitions),
+        })
+    return rows

@@ -1,0 +1,55 @@
+"""Variability metrics used in the evaluation (Section 4.6).
+
+The paper reports two metrics: *median to base-median ratio* (MR), which
+normalizes a region's query-suite runtime by the us-east-1 median, and
+the *coefficient of variation* (CoV) as a measure of variability within
+one region over time [105].
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def coefficient_of_variation(samples: Sequence[float]) -> float:
+    """CoV = standard deviation / mean, as a fraction.
+
+    Uses the population standard deviation, matching the runtime
+    measurement methodology of [105].
+    """
+    values = np.asarray(list(samples), dtype=np.float64)
+    if len(values) == 0:
+        raise ValueError("CoV of an empty sample")
+    mean = float(np.mean(values))
+    if mean == 0:
+        raise ValueError("CoV undefined for zero mean")
+    return float(np.std(values)) / mean
+
+
+def relative_std(samples: Sequence[float]) -> float:
+    """Relative standard deviation in percent (Figure 11 reports %)."""
+    return coefficient_of_variation(samples) * 100.0
+
+
+def median_ratio(samples: Sequence[float],
+                 base_samples: Sequence[float]) -> float:
+    """MR: this sample's median over the base region's median."""
+    values = np.asarray(list(samples), dtype=np.float64)
+    base = np.asarray(list(base_samples), dtype=np.float64)
+    if len(values) == 0 or len(base) == 0:
+        raise ValueError("median ratio of empty samples")
+    base_median = float(np.median(base))
+    if base_median == 0:
+        raise ValueError("base median is zero")
+    return float(np.median(values)) / base_median
+
+
+def percentiles(samples: Sequence[float],
+                points: Sequence[float] = (50, 95, 99, 100)) -> dict[float, float]:
+    """Selected percentiles of a sample."""
+    values = np.asarray(list(samples), dtype=np.float64)
+    if len(values) == 0:
+        raise ValueError("percentiles of an empty sample")
+    return {p: float(np.percentile(values, p)) for p in points}

@@ -1,0 +1,91 @@
+"""Command-line interface for the evaluation framework.
+
+Mirrors the paper's experiment flow (Figure 3): configurations go in,
+JSON results come out, and the plotter renders what it can. Usage::
+
+    python -m repro list                      # predefined experiments
+    python -m repro run fig5-function-burst   # run one by name
+    python -m repro run path/to/config.json   # or from a JSON file
+    python -m repro suite network             # run a whole suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import Driver, ExperimentConfig, ascii_timeseries
+from repro.core.suites import (
+    full_evaluation,
+    network_suite,
+    query_suite,
+    startup_suite,
+    storage_suite,
+)
+
+SUITES = {
+    "network": network_suite,
+    "storage": storage_suite,
+    "query": query_suite,
+    "startup": startup_suite,
+    "full": full_evaluation,
+}
+
+
+def _predefined() -> dict[str, ExperimentConfig]:
+    return {config.name: config for config in full_evaluation()}
+
+
+def _run_configs(configs, output_dir: Path, plot: bool) -> int:
+    driver = Driver()
+    for config in configs:
+        print(f"running {config.name} ({config.kind}) ...", flush=True)
+        result = driver.run(config)
+        path = result.save(output_dir / f"{config.name}.json")
+        for key, value in result.metrics.items():
+            print(f"  {key} = {value:.6g}")
+        print(f"  cost = ${result.cost_usd:.4f}")
+        print(f"  saved {path}")
+        if plot:
+            for label, points in result.series.items():
+                print(ascii_timeseries(points, title=f"{config.name}: {label}",
+                                       height=8))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Skyrise evaluation framework")
+    parser.add_argument("--output", default="results",
+                        help="directory for result JSON files")
+    parser.add_argument("--plot", action="store_true",
+                        help="render result series as ASCII charts")
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("list", help="list predefined experiments")
+    run = commands.add_parser("run", help="run one experiment")
+    run.add_argument("experiment",
+                     help="predefined name or path to a config JSON")
+    suite = commands.add_parser("suite", help="run a predefined suite")
+    suite.add_argument("suite", choices=sorted(SUITES))
+    args = parser.parse_args(argv)
+
+    output_dir = Path(args.output)
+    if args.command == "list":
+        for name, config in _predefined().items():
+            print(f"{name:<32} {config.kind}")
+        return 0
+    if args.command == "run":
+        predefined = _predefined()
+        if args.experiment in predefined:
+            config = predefined[args.experiment]
+        elif Path(args.experiment).exists():
+            config = ExperimentConfig.from_json(
+                Path(args.experiment).read_text())
+        else:
+            print(f"unknown experiment {args.experiment!r}; "
+                  f"try 'python -m repro list'", file=sys.stderr)
+            return 2
+        return _run_configs([config], output_dir, args.plot)
+    return _run_configs(SUITES[args.suite](), output_dir, args.plot)

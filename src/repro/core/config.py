@@ -1,0 +1,61 @@
+"""Experiment configuration records (Table 3).
+
+A configuration names the system under test, the driver kind, the
+function/workload to run, and the experiment parameters. Configurations
+serialize to/from JSON so experiment suites are data, not code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Known experiment kinds, mirroring Table 3's driver column.
+EXPERIMENT_KINDS = (
+    "network-burst",        # Figure 5: single-function burst profile
+    "network-comparison",   # Figure 6: EC2 vs Lambda bursting
+    "network-scaling",      # Figure 7: aggregate throughput, VPC on/off
+    "storage-throughput",   # Figure 8
+    "storage-iops",         # Figure 9
+    "storage-latency",      # Figure 10
+    "s3-iops-scaling",      # Figure 11
+    "s3-downscaling",       # Figure 13
+    "function-startup",     # Table 3: startup latency / idle lifetime
+    "query",                # Figures 14, 15; Tables 5, 6
+)
+
+
+@dataclass
+class ExperimentConfig:
+    """One experiment: kind plus free-form parameters."""
+
+    name: str
+    kind: str
+    parameters: dict[str, Any] = field(default_factory=dict)
+    repetitions: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EXPERIMENT_KINDS:
+            raise ValueError(f"unknown experiment kind {self.kind!r}; "
+                             f"known: {EXPERIMENT_KINDS}")
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps({
+            "name": self.name, "kind": self.kind,
+            "parameters": self.parameters,
+            "repetitions": self.repetitions, "seed": self.seed,
+        }, indent=2)
+
+    @classmethod
+    def from_json(cls, raw: str) -> "ExperimentConfig":
+        """Parse a JSON configuration."""
+        data = json.loads(raw)
+        return cls(name=data["name"], kind=data["kind"],
+                   parameters=data.get("parameters", {}),
+                   repetitions=data.get("repetitions", 1),
+                   seed=data.get("seed", 0))

@@ -1,0 +1,41 @@
+"""Resource-level microbenchmarks (Table 3).
+
+Three cloud-function binaries drive the resource experiments:
+
+* **network I/O** (:mod:`repro.core.micro.network`) — an iPerf3-based
+  measurement function; Figures 5-7;
+* **storage I/O** (:mod:`repro.core.micro.storage_io`) — reads/writes
+  files of fixed size and number against a storage service; Figures 8-13;
+* **minimal** (:mod:`repro.core.micro.minimal`) — a no-op binary with
+  configurable BLOB size for startup/idle-lifetime experiments.
+"""
+
+from repro.core.micro.network import (
+    run_ec2_network_profile,
+    run_function_network_burst,
+    run_network_scaling,
+)
+from repro.core.micro.storage_io import (
+    run_s3_downscaling,
+    run_s3_iops_scaling,
+    run_storage_iops,
+    run_storage_latency,
+    run_storage_throughput,
+)
+from repro.core.micro.minimal import (
+    measure_idle_lifetime,
+    measure_startup_latency,
+)
+
+__all__ = [
+    "measure_idle_lifetime",
+    "measure_startup_latency",
+    "run_ec2_network_profile",
+    "run_function_network_burst",
+    "run_network_scaling",
+    "run_s3_downscaling",
+    "run_s3_iops_scaling",
+    "run_storage_iops",
+    "run_storage_latency",
+    "run_storage_throughput",
+]

@@ -1,0 +1,70 @@
+"""Synchronization barriers for isolating query subflows.
+
+Section 3.2: "the engine supports the injection of synchronization
+barriers into its execution ... implemented as an extra operator that
+polls a shared queue for a barrier condition." The simulation equivalent
+is an event-based rendezvous: the last arriving fragment releases all
+waiters, so e.g. all shuffle reads start at the same instant and the
+shuffle subflow can be timed in isolation (Figure 15).
+"""
+
+from __future__ import annotations
+
+from repro.sim import Environment, Event
+
+
+class Barrier:
+    """An N-party rendezvous point."""
+
+    def __init__(self, env: Environment, parties: int) -> None:
+        if parties <= 0:
+            raise ValueError(f"parties must be positive, got {parties}")
+        self.env = env
+        self.parties = parties
+        self._arrived = 0
+        self._release: Event = env.event()
+
+    @property
+    def arrived(self) -> int:
+        """Fragments that have reached the barrier so far."""
+        return self._arrived
+
+    def wait(self) -> Event:
+        """Event that triggers once all parties have arrived.
+
+        Usage inside a process: ``yield barrier.wait()``.
+        """
+        self._arrived += 1
+        if self._arrived > self.parties:
+            raise RuntimeError(
+                f"barrier overrun: {self._arrived} arrivals for "
+                f"{self.parties} parties")
+        if self._arrived == self.parties:
+            self._release.succeed(self.env.now)
+        return self._release
+
+
+class BarrierRegistry:
+    """Per-query barrier bookkeeping keyed by (query, pipeline)."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._barriers: dict[tuple[str, str], Barrier] = {}
+
+    def get(self, query_id: str, pipeline_id: str, parties: int) -> Barrier:
+        """The barrier for a pipeline, created on first access."""
+        key = (query_id, pipeline_id)
+        if key not in self._barriers:
+            self._barriers[key] = Barrier(self.env, parties)
+        barrier = self._barriers[key]
+        if barrier.parties != parties:
+            raise ValueError(
+                f"barrier {key} created for {barrier.parties} parties, "
+                f"requested {parties}")
+        return barrier
+
+    def clear(self, query_id: str) -> None:
+        """Drop all barriers of a finished query."""
+        self._barriers = {key: barrier
+                          for key, barrier in self._barriers.items()
+                          if key[0] != query_id}

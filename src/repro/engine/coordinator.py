@@ -1,0 +1,287 @@
+"""The query coordinator function.
+
+The coordinator receives a physical plan (JSON), fetches input metadata
+from the catalog, compiles the distributed plan (fragments per pipeline,
+burst-aware worker sizing), schedules pipelines stage-wise, and gathers
+the worker reports. For wide stages it fans invocations out through a
+two-level procedure: helper "invoker" functions each dispatch a slice of
+the workers (Section 3.2, [96]).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.datagen.datasets import TableMetadata
+from repro.engine.plan import (
+    PhysicalPlan,
+    PipelineSpec,
+    ResultSink,
+    ShuffleSource,
+    TableSource,
+)
+from repro.faas.function import FunctionContext
+from repro.sim import AllOf
+
+#: Per-invocation dispatch overhead on the invoking function (seconds).
+INVOKE_DISPATCH_S = 0.003
+
+#: Stages at or above this width use two-level invocation (Section 3.2).
+TWO_LEVEL_THRESHOLD = 256
+
+#: Workers dispatched per second-level invoker.
+INVOKER_SLICE = 32
+
+#: Burst-aware per-worker scan volume target: keep the effective bytes a
+#: worker pulls within the ~300 MiB network burst budget (Section 4.5.1).
+DEFAULT_TARGET_WORKER_INPUT = 270 * units.MiB
+
+
+@dataclass
+class StageReport:
+    """Aggregated execution data of one pipeline."""
+
+    pipeline: str
+    fragments: int
+    started_at: float
+    finished_at: float
+    requests: int = 0
+    read_requests: int = 0
+    write_requests: int = 0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    rows_out: int = 0
+    shuffle_read_time_max: float = 0.0
+    request_sizes: list[float] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Wall time of the stage."""
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class CoordinatorRuntime:
+    """Services the coordinator binary is linked against."""
+
+    catalog: dict[str, TableMetadata]
+    backend: object  # LambdaPlatform or VmShim (same invoke interface)
+    worker_function: str
+    invoker_function: str
+    intermediate_service: str = "s3-standard"
+    target_worker_input: float = DEFAULT_TARGET_WORKER_INPUT
+
+
+def make_coordinator_handler(runtime: CoordinatorRuntime):
+    """Build the coordinator handler bound to ``runtime``."""
+
+    def coordinator_handler(context: FunctionContext, payload: dict):
+        return (yield from _run_query(runtime, context, payload))
+
+    coordinator_handler.__name__ = "skyrise_coordinator"
+    return coordinator_handler
+
+
+def make_invoker_handler(runtime: CoordinatorRuntime):
+    """Second-level invoker: dispatch a slice of worker invocations."""
+
+    def invoker_handler(context: FunctionContext, payload: dict):
+        env = context.env
+        processes = []
+        for fragment_payload in payload["fragments"]:
+            yield env.timeout(INVOKE_DISPATCH_S)
+            processes.append(env.process(
+                runtime.backend.invoke(runtime.worker_function,
+                                       fragment_payload),
+                name="invoke-worker"))
+        if processes:
+            yield AllOf(env, processes)
+        return [process.value.response for process in processes]
+
+    invoker_handler.__name__ = "skyrise_invoker"
+    return invoker_handler
+
+
+def _run_query(runtime: CoordinatorRuntime, context: FunctionContext,
+               payload: dict):
+    env = context.env
+    plan = PhysicalPlan.from_dict(payload["plan"])
+    started_at = env.now
+    fragments = _compile_fragments(runtime, plan)
+    stage_reports: list[StageReport] = []
+    for stage in plan.stages():
+        processes = []
+        stage_started = env.now
+        for pipeline in stage:
+            payloads = _fragment_payloads(runtime, plan, pipeline, fragments)
+            processes.append((pipeline, env.process(
+                _dispatch(runtime, context, payloads),
+                name=f"stage-{pipeline.id}")))
+        for pipeline, process in processes:
+            reports = yield process
+            stage_reports.append(_aggregate_stage(
+                pipeline, fragments[pipeline.id], stage_started, env.now,
+                reports))
+    final = plan.final_pipeline
+    return {
+        "query_id": plan.query_id,
+        "result_keys": [f"results/{plan.query_id}/part-{i:05d}"
+                        for i in range(fragments[final.id])],
+        "runtime": env.now - started_at,
+        "stages": stage_reports,
+        "fragments": fragments,
+    }
+
+
+def _compile_fragments(runtime: CoordinatorRuntime,
+                       plan: PhysicalPlan) -> dict[str, int]:
+    """Decide data-parallel fragment counts per pipeline.
+
+    Scan pipelines are sized burst-aware: the effective bytes a worker
+    reads (partition size x projected-column fraction) stay within the
+    network burst budget. Shuffle-consumer pipelines default to half the
+    widest producer, bounded to [1, 128].
+    """
+    fragments: dict[str, int] = {}
+    for pipeline in plan.pipelines:
+        if pipeline.fragments is not None:
+            fragments[pipeline.id] = pipeline.fragments
+            continue
+        if isinstance(pipeline.source, TableSource):
+            table = runtime.catalog[pipeline.source.table]
+            fraction = _read_fraction(table, pipeline.source.columns)
+            effective = table.total_logical_bytes * fraction
+            count = max(1, math.ceil(effective / runtime.target_worker_input))
+            fragments[pipeline.id] = min(count, table.partition_count)
+        else:
+            producers = [fragments[dep] for dep in pipeline.depends_on]
+            widest = max(producers) if producers else 1
+            fragments[pipeline.id] = max(1, min(128, widest // 2))
+    return fragments
+
+
+def _read_fraction(table: TableMetadata, columns: list[str]) -> float:
+    """Byte fraction of a table's width covered by ``columns``."""
+
+    def width(names: list[str]) -> float:
+        total = 0.0
+        for name in names:
+            dtype = table.schema.field(name).dtype
+            fixed = dtype.fixed_width
+            total += fixed if fixed is not None else 16.0
+        return total
+
+    full = width(table.schema.names())
+    return width(columns) / full if full else 1.0
+
+
+def _fragment_payloads(runtime: CoordinatorRuntime, plan: PhysicalPlan,
+                       pipeline: PipelineSpec,
+                       fragments: dict[str, int]) -> list[dict]:
+    """Build the worker payloads for every fragment of a pipeline."""
+    count = fragments[pipeline.id]
+    consumers = _consumer_fragments(plan, pipeline, fragments)
+    side_tables = {}
+    for name, table_name in pipeline.side_tables.items():
+        table = runtime.catalog[table_name]
+        side_tables[name] = {
+            "partitions": [{"key": p.key, "logical_bytes": p.logical_bytes}
+                           for p in table.partitions],
+            "columns": table.schema.names(),
+            "read_fraction": 1.0,
+        }
+    payloads = []
+    for fragment in range(count):
+        payload = {
+            "query_id": plan.query_id,
+            "pipeline": pipeline.to_dict(),
+            "fragment": fragment,
+            "fragment_count": count,
+            "out_partitions": consumers,
+            "side_tables": side_tables,
+            "intermediate_service": runtime.intermediate_service,
+            "table_service": "s3-standard",
+        }
+        if isinstance(pipeline.source, TableSource):
+            table = runtime.catalog[pipeline.source.table]
+            payload["table_service"] = table.service_name
+            assigned = table.partitions[fragment::count]
+            payload["partitions"] = [
+                {"key": p.key, "logical_bytes": p.logical_bytes}
+                for p in assigned]
+            payload["read_fraction"] = _read_fraction(
+                table, pipeline.source.columns)
+        else:
+            payload["producer_fragments"] = {
+                upstream: fragments[upstream]
+                for upstream in pipeline.source.inputs.values()}
+        payloads.append(payload)
+    return payloads
+
+
+def _consumer_fragments(plan: PhysicalPlan, pipeline: PipelineSpec,
+                        fragments: dict[str, int]) -> int:
+    """Fragment count of the pipeline consuming this one's shuffle output."""
+    if isinstance(pipeline.sink, ResultSink):
+        return 1
+    for candidate in plan.pipelines:
+        if isinstance(candidate.source, ShuffleSource) \
+                and pipeline.id in candidate.source.inputs.values():
+            return fragments[candidate.id]
+    raise ValueError(f"pipeline {pipeline.id!r} has a shuffle sink but "
+                     f"no consumer")
+
+
+def _dispatch(runtime: CoordinatorRuntime, context: FunctionContext,
+              payloads: list[dict]):
+    """Process: invoke all fragments, two-level when the stage is wide."""
+    env = context.env
+    if len(payloads) >= TWO_LEVEL_THRESHOLD:
+        slices = [payloads[i:i + INVOKER_SLICE]
+                  for i in range(0, len(payloads), INVOKER_SLICE)]
+        processes = []
+        for chunk in slices:
+            yield env.timeout(INVOKE_DISPATCH_S)
+            processes.append(env.process(
+                runtime.backend.invoke(runtime.invoker_function,
+                                       {"fragments": chunk}),
+                name="invoke-invoker"))
+        # AllOf fails fast on the first fragment failure and absorbs any
+        # concurrent ones, so a crashed worker surfaces as one error.
+        yield AllOf(env, processes)
+        reports = []
+        for process in processes:
+            reports.extend(process.value.response)
+        return reports
+    processes = []
+    for payload in payloads:
+        yield env.timeout(INVOKE_DISPATCH_S)
+        processes.append(env.process(
+            runtime.backend.invoke(runtime.worker_function, payload),
+            name="invoke-worker"))
+    yield AllOf(env, processes)
+    reports = []
+    for process in processes:
+        reports.append(process.value.response)
+    return reports
+
+
+def _aggregate_stage(pipeline: PipelineSpec, fragments: int,
+                     started_at: float, finished_at: float,
+                     reports) -> StageReport:
+    stage = StageReport(pipeline=pipeline.id, fragments=fragments,
+                        started_at=started_at, finished_at=finished_at)
+    for report in reports:
+        stage.requests += report.requests
+        stage.read_requests += report.read_requests
+        stage.write_requests += report.write_requests
+        stage.bytes_read += report.bytes_read
+        stage.bytes_written += report.bytes_written
+        stage.rows_out += report.rows_out
+        stage.request_sizes.extend(report.request_sizes)
+        stage.shuffle_read_time_max = max(
+            stage.shuffle_read_time_max,
+            report.phases.get("shuffle_read", 0.0))
+    return stage

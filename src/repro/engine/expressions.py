@@ -1,0 +1,281 @@
+"""Scalar expressions evaluated vectorized over record batches.
+
+Expressions form a small serializable AST (physical plans travel as JSON
+between the driver, coordinator, and workers — Section 3.2). ``evaluate``
+returns a numpy array aligned with the batch's rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.formats.batch import RecordBatch
+
+_COMPARATORS: dict[str, Callable[[np.ndarray, Any], np.ndarray]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+_ARITHMETIC: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+class Expr:
+    """Base expression node."""
+
+    def evaluate(self, batch: RecordBatch) -> np.ndarray:
+        """Vectorized evaluation against a batch."""
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        """Names of all columns this expression reads."""
+        return set()
+
+
+class Col(Expr):
+    """A column reference."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def evaluate(self, batch: RecordBatch) -> np.ndarray:
+        return batch.column(self.name)
+
+    def to_dict(self) -> dict:
+        return {"kind": "col", "name": self.name}
+
+    def columns(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return f"Col({self.name!r})"
+
+
+class Lit(Expr):
+    """A literal constant."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def evaluate(self, batch: RecordBatch) -> np.ndarray:
+        return np.full(len(batch), self.value)
+
+    def to_dict(self) -> dict:
+        return {"kind": "lit", "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Lit({self.value!r})"
+
+
+class BinOp(Expr):
+    """Arithmetic between two expressions."""
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _ARITHMETIC:
+            raise ValueError(f"unknown arithmetic op {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, batch: RecordBatch) -> np.ndarray:
+        return _ARITHMETIC[self.op](self.left.evaluate(batch),
+                                    self.right.evaluate(batch))
+
+    def to_dict(self) -> dict:
+        return {"kind": "binop", "op": self.op,
+                "left": self.left.to_dict(), "right": self.right.to_dict()}
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+
+class Compare(Expr):
+    """Comparison producing a boolean mask."""
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _COMPARATORS:
+            raise ValueError(f"unknown comparator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, batch: RecordBatch) -> np.ndarray:
+        return _COMPARATORS[self.op](self.left.evaluate(batch),
+                                     self.right.evaluate(batch))
+
+    def to_dict(self) -> dict:
+        return {"kind": "compare", "op": self.op,
+                "left": self.left.to_dict(), "right": self.right.to_dict()}
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+
+class And(Expr):
+    """Logical conjunction of boolean expressions."""
+
+    def __init__(self, *terms: Expr) -> None:
+        if not terms:
+            raise ValueError("And needs at least one term")
+        self.terms = terms
+
+    def evaluate(self, batch: RecordBatch) -> np.ndarray:
+        result = self.terms[0].evaluate(batch).astype(bool)
+        for term in self.terms[1:]:
+            result = result & term.evaluate(batch).astype(bool)
+        return result
+
+    def to_dict(self) -> dict:
+        return {"kind": "and", "terms": [t.to_dict() for t in self.terms]}
+
+    def columns(self) -> set[str]:
+        found: set[str] = set()
+        for term in self.terms:
+            found |= term.columns()
+        return found
+
+
+class Or(Expr):
+    """Logical disjunction of boolean expressions."""
+
+    def __init__(self, *terms: Expr) -> None:
+        if not terms:
+            raise ValueError("Or needs at least one term")
+        self.terms = terms
+
+    def evaluate(self, batch: RecordBatch) -> np.ndarray:
+        result = self.terms[0].evaluate(batch).astype(bool)
+        for term in self.terms[1:]:
+            result = result | term.evaluate(batch).astype(bool)
+        return result
+
+    def to_dict(self) -> dict:
+        return {"kind": "or", "terms": [t.to_dict() for t in self.terms]}
+
+    def columns(self) -> set[str]:
+        found: set[str] = set()
+        for term in self.terms:
+            found |= term.columns()
+        return found
+
+
+class Not(Expr):
+    """Logical negation."""
+
+    def __init__(self, term: Expr) -> None:
+        self.term = term
+
+    def evaluate(self, batch: RecordBatch) -> np.ndarray:
+        return ~self.term.evaluate(batch).astype(bool)
+
+    def to_dict(self) -> dict:
+        return {"kind": "not", "term": self.term.to_dict()}
+
+    def columns(self) -> set[str]:
+        return self.term.columns()
+
+
+class Between(Expr):
+    """Inclusive range check: low <= expr <= high."""
+
+    def __init__(self, expr: Expr, low: Any, high: Any) -> None:
+        self.expr = expr
+        self.low = low
+        self.high = high
+
+    def evaluate(self, batch: RecordBatch) -> np.ndarray:
+        values = self.expr.evaluate(batch)
+        return (values >= self.low) & (values <= self.high)
+
+    def to_dict(self) -> dict:
+        return {"kind": "between", "expr": self.expr.to_dict(),
+                "low": self.low, "high": self.high}
+
+    def columns(self) -> set[str]:
+        return self.expr.columns()
+
+
+class InSet(Expr):
+    """Set membership check."""
+
+    def __init__(self, expr: Expr, values: list) -> None:
+        self.expr = expr
+        self.values = list(values)
+
+    def evaluate(self, batch: RecordBatch) -> np.ndarray:
+        column = self.expr.evaluate(batch)
+        return np.isin(column, self.values)
+
+    def to_dict(self) -> dict:
+        return {"kind": "in", "expr": self.expr.to_dict(),
+                "values": self.values}
+
+    def columns(self) -> set[str]:
+        return self.expr.columns()
+
+
+class IfThenElse(Expr):
+    """Vectorized conditional (SQL CASE WHEN)."""
+
+    def __init__(self, condition: Expr, then: Expr, otherwise: Expr) -> None:
+        self.condition = condition
+        self.then = then
+        self.otherwise = otherwise
+
+    def evaluate(self, batch: RecordBatch) -> np.ndarray:
+        return np.where(self.condition.evaluate(batch).astype(bool),
+                        self.then.evaluate(batch),
+                        self.otherwise.evaluate(batch))
+
+    def to_dict(self) -> dict:
+        return {"kind": "if", "condition": self.condition.to_dict(),
+                "then": self.then.to_dict(),
+                "otherwise": self.otherwise.to_dict()}
+
+    def columns(self) -> set[str]:
+        return (self.condition.columns() | self.then.columns()
+                | self.otherwise.columns())
+
+
+def expr_from_dict(data: dict) -> Expr:
+    """Rebuild an expression from its :meth:`Expr.to_dict` form."""
+    kind = data["kind"]
+    if kind == "col":
+        return Col(data["name"])
+    if kind == "lit":
+        return Lit(data["value"])
+    if kind == "binop":
+        return BinOp(data["op"], expr_from_dict(data["left"]),
+                     expr_from_dict(data["right"]))
+    if kind == "compare":
+        return Compare(data["op"], expr_from_dict(data["left"]),
+                       expr_from_dict(data["right"]))
+    if kind == "and":
+        return And(*[expr_from_dict(t) for t in data["terms"]])
+    if kind == "or":
+        return Or(*[expr_from_dict(t) for t in data["terms"]])
+    if kind == "not":
+        return Not(expr_from_dict(data["term"]))
+    if kind == "between":
+        return Between(expr_from_dict(data["expr"]), data["low"], data["high"])
+    if kind == "in":
+        return InSet(expr_from_dict(data["expr"]), data["values"])
+    if kind == "if":
+        return IfThenElse(expr_from_dict(data["condition"]),
+                          expr_from_dict(data["then"]),
+                          expr_from_dict(data["otherwise"]))
+    raise ValueError(f"unknown expression kind {kind!r}")

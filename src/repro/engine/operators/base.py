@@ -1,0 +1,48 @@
+"""Operator protocol and spec deserialization."""
+
+from __future__ import annotations
+
+from repro.formats.batch import RecordBatch
+
+
+class Operator:
+    """A physical operator over materialized batches."""
+
+    #: CPU cost class charged per logical GiB of input (see engine.cost).
+    cost_class = "scan"
+
+    def execute(self, batch: RecordBatch, sides: dict | None = None
+                ) -> RecordBatch:
+        """Transform ``batch``; ``sides`` holds side-table batches by name."""
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        """JSON-serializable operator spec."""
+        raise NotImplementedError
+
+
+def operator_from_dict(data: dict) -> Operator:
+    """Rebuild an operator from its spec dictionary."""
+    from repro.engine.operators.aggregate import HashAggregateOperator
+    from repro.engine.operators.filter import FilterOperator
+    from repro.engine.operators.join import HashJoinOperator
+    from repro.engine.operators.limit import LimitOperator
+    from repro.engine.operators.project import ProjectOperator
+    from repro.engine.operators.sort import SortOperator
+    from repro.engine.operators.udf import MapUdfOperator
+
+    kind = data["kind"]
+    constructors = {
+        "filter": FilterOperator,
+        "project": ProjectOperator,
+        "aggregate": HashAggregateOperator,
+        "join": HashJoinOperator,
+        "sort": SortOperator,
+        "limit": LimitOperator,
+        "udf": MapUdfOperator,
+    }
+    try:
+        constructor = constructors[kind]
+    except KeyError:
+        raise ValueError(f"unknown operator kind {kind!r}") from None
+    return constructor.from_dict(data)

@@ -1,0 +1,52 @@
+"""Single-node reference executor.
+
+Runs a physical plan directly over in-memory tables, without any
+distribution, storage, or simulation — the ground truth the distributed
+engine's results are validated against. Because partial/final aggregate
+pairs compose (merging one partial group state is the identity), the
+same plan produces identical results in both executors.
+"""
+
+from __future__ import annotations
+
+from repro.engine.plan import PhysicalPlan, ShuffleSource, TableSource
+from repro.formats.batch import RecordBatch
+
+
+def run_reference(plan: PhysicalPlan,
+                  tables: dict[str, RecordBatch]) -> RecordBatch:
+    """Execute ``plan`` over ``tables``; returns the result batch."""
+    outputs: dict[str, RecordBatch] = {}
+    for stage in plan.stages():
+        for pipeline in stage:
+            sides: dict[str, RecordBatch] = {}
+            for name, table_name in pipeline.side_tables.items():
+                sides[name] = tables[table_name]
+            if isinstance(pipeline.source, TableSource):
+                table = tables[pipeline.source.table]
+                batch = table.select([
+                    name for name in pipeline.source.columns])
+            else:
+                source: ShuffleSource = pipeline.source
+                named = {name: outputs[upstream]
+                         for name, upstream in source.inputs.items()}
+                batch = named.pop(source.main)
+                sides.update(named)
+            for operator in pipeline.operators:
+                batch = operator.execute(batch, sides)
+            outputs[pipeline.id] = batch
+    return outputs[plan.final_pipeline.id]
+
+
+def table_batches_from_spec(specs, seed: int = 1_000
+                            ) -> dict[str, RecordBatch]:
+    """Materialize full tables from dataset specs (for validation)."""
+    tables: dict[str, RecordBatch] = {}
+    for spec in specs:
+        pieces = []
+        for index in range(spec.partition_count):
+            rows = spec.rows_for_partition(index)
+            pieces.append(spec.generator(rows, seed, index,
+                                         spec.physical_scale_factor))
+        tables[spec.name] = RecordBatch.concat(pieces)
+    return tables

@@ -1,0 +1,130 @@
+"""Query execution traces.
+
+Section 3.2: "the engine traces runtime information with query context.
+This information can be compared between distributed workers, as their
+clocks are tightly synchronized." In the simulation, every worker shares
+the one virtual clock, so per-fragment spans are exactly comparable.
+This module turns a query's invocation records into a trace — per-stage
+spans with worker start/finish times — plus a text Gantt rendering and
+straggler analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faas.function import InvocationRecord
+
+
+@dataclass
+class WorkerSpan:
+    """One worker invocation's lifecycle timestamps."""
+
+    pipeline: str
+    fragment: int
+    requested_at: float
+    started_at: float
+    finished_at: float
+    cold: bool
+    phases: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def init_duration(self) -> float:
+        """Queueing + startup before the handler ran."""
+        return self.started_at - self.requested_at
+
+    @property
+    def duration(self) -> float:
+        """Handler execution time."""
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class QueryTrace:
+    """All worker spans of one query execution."""
+
+    query_id: str
+    spans: list[WorkerSpan] = field(default_factory=list)
+
+    def stage(self, pipeline: str) -> list[WorkerSpan]:
+        """Spans of one pipeline, ordered by fragment."""
+        return sorted((span for span in self.spans
+                       if span.pipeline == pipeline),
+                      key=lambda span: span.fragment)
+
+    def pipelines(self) -> list[str]:
+        """Pipeline ids in first-appearance order."""
+        seen: list[str] = []
+        for span in self.spans:
+            if span.pipeline not in seen:
+                seen.append(span.pipeline)
+        return seen
+
+    def stragglers(self, pipeline: str, factor: float = 2.0
+                   ) -> list[WorkerSpan]:
+        """Spans slower than ``factor`` x the stage median duration."""
+        spans = self.stage(pipeline)
+        if not spans:
+            return []
+        median = float(np.median([span.duration for span in spans]))
+        return [span for span in spans if span.duration > factor * median]
+
+    def skew(self, pipeline: str) -> float:
+        """Max/median duration ratio of a stage (1.0 = perfectly even)."""
+        spans = self.stage(pipeline)
+        if not spans:
+            return 1.0
+        durations = [span.duration for span in spans]
+        return max(durations) / max(float(np.median(durations)), 1e-12)
+
+    def makespan(self) -> float:
+        """End-to-end span across all workers."""
+        if not self.spans:
+            return 0.0
+        return (max(span.finished_at for span in self.spans)
+                - min(span.requested_at for span in self.spans))
+
+    def render_gantt(self, width: int = 64) -> str:
+        """ASCII Gantt chart: one row per fragment, grouped by stage."""
+        if not self.spans:
+            return f"{self.query_id}: (no spans)"
+        t0 = min(span.requested_at for span in self.spans)
+        t1 = max(span.finished_at for span in self.spans)
+        scale = (t1 - t0) or 1.0
+        lines = [f"query {self.query_id}: {scale:.3f}s total"]
+        for pipeline in self.pipelines():
+            lines.append(f"[{pipeline}]")
+            for span in self.stage(pipeline):
+                start = int((span.requested_at - t0) / scale * (width - 1))
+                init_end = int((span.started_at - t0) / scale * (width - 1))
+                end = int((span.finished_at - t0) / scale * (width - 1))
+                row = [" "] * width
+                for i in range(start, max(init_end, start + 1)):
+                    row[i] = "."
+                for i in range(init_end, max(end, init_end) + 1):
+                    row[i] = "#"
+                marker = "C" if span.cold else "w"
+                lines.append(f"  {span.fragment:>4} {marker} |{''.join(row)}|")
+        return "\n".join(lines)
+
+
+def trace_from_records(query_id: str,
+                       records: list[InvocationRecord]) -> QueryTrace:
+    """Build a trace from the platform's invocation records.
+
+    Worker invocations are recognized by their :class:`WorkerReport`
+    responses; coordinator and invoker records are skipped.
+    """
+    trace = QueryTrace(query_id=query_id)
+    for record in records:
+        report = record.response
+        if not hasattr(report, "pipeline") or not hasattr(report, "fragment"):
+            continue
+        trace.spans.append(WorkerSpan(
+            pipeline=report.pipeline, fragment=report.fragment,
+            requested_at=record.requested_at, started_at=record.started_at,
+            finished_at=record.finished_at, cold=record.cold,
+            phases=dict(report.phases)))
+    return trace

@@ -1,0 +1,200 @@
+"""The Lambda platform: frontend, admission, assignment, placement.
+
+Invocation path (Figure 1): the frontend checks the admission service
+(account concurrency quota and burst/ramp scaling), asks the assignment
+service for a warm sandbox, and falls back to the placement service which
+creates a new environment — a *coldstart* that downloads and initializes
+the binary. Asynchronous invocations pass through the polling service,
+adding queueing latency.
+"""
+
+from __future__ import annotations
+
+import math
+
+from typing import Any, Optional
+
+from repro import units
+from repro.network.fabric import Fabric, FluidLink
+from repro.network.shaper import lambda_shaper
+from repro.sim import Environment, RandomStreams
+from repro.faas.function import FunctionConfig, FunctionContext, InvocationRecord
+from repro.faas.regions import REGIONS, RegionProfile
+from repro.faas.sandbox import Sandbox
+from repro.faas.scaling import ConcurrencyScaler
+
+#: Placement overhead of creating a fresh environment (seconds).
+COLDSTART_PLACEMENT_S = 0.060
+#: Effective bandwidth for fetching the function binary during placement.
+COLDSTART_DOWNLOAD_RATE = 50 * units.MiB
+#: Runtime/initialization overhead after the binary is in place.
+COLDSTART_INIT_S = 0.030
+#: Probability of a coldstart straggler (Section 5.2 mentions occasional
+#: coldstart stragglers, in particular for the coordinator).
+COLDSTART_STRAGGLER_P = 0.02
+COLDSTART_STRAGGLER_FACTOR = 8.0
+
+#: Routing overhead of a warmstart: load balancing, assignment, and
+#: payload delivery take ~25 ms even when the sandbox is hot — the
+#: per-stage startup overhead behind the FaaS runtime penalty of
+#: Section 5.2.
+WARMSTART_S = 0.025
+
+#: Extra latency of the polling service for async invocations/events.
+ASYNC_POLL_S = 0.025
+
+#: Idle sandbox lifetime: median ~6 minutes, broadly spread.
+IDLE_LIFETIME_MEDIAN_S = 360.0
+IDLE_LIFETIME_SIGMA = 0.5
+
+#: Re-check interval while waiting for concurrency to scale up.
+ADMISSION_RETRY_S = 1.0
+
+
+class LambdaPlatform:
+    """Simulated AWS Lambda in one region."""
+
+    def __init__(self, env: Environment, fabric: Fabric, rng: RandomStreams,
+                 region: str = "us-east-1",
+                 account_quota: int = 1_000,
+                 vpc_link: Optional[FluidLink] = None) -> None:
+        self.env = env
+        self.fabric = fabric
+        self.region: RegionProfile = (
+            REGIONS[region] if isinstance(region, str) else region)
+        self.account_quota = account_quota
+        self.vpc_link = vpc_link
+        self.scaler = ConcurrencyScaler(
+            burst_limit=self.region.burst_concurrency,
+            account_quota=account_quota)
+        self._functions: dict[str, FunctionConfig] = {}
+        self._warm: dict[str, list[Sandbox]] = {}
+        self._busy = 0
+        self.records: list[InvocationRecord] = []
+        self._rng = rng.stream(f"faas.{self.region.name}")
+
+    # -- deployment ----------------------------------------------------------
+
+    def deploy(self, config: FunctionConfig) -> None:
+        """Register a function (idempotent for the same name)."""
+        self._functions[config.name] = config
+        self._warm.setdefault(config.name, [])
+
+    def function(self, name: str) -> FunctionConfig:
+        """Look up a deployed function."""
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise KeyError(f"function {name!r} is not deployed") from None
+
+    @property
+    def concurrent_executions(self) -> int:
+        """Sandboxes currently executing a handler."""
+        return self._busy
+
+    def warm_sandbox_count(self, name: str) -> int:
+        """Live warm (idle, unexpired) sandboxes for a function."""
+        now = self.env.now
+        pool = self._warm.get(name, [])
+        return sum(1 for sandbox in pool if not sandbox.expired(now))
+
+    # -- invocation -----------------------------------------------------------
+
+    def invoke(self, name: str, payload: Any = None):
+        """Process: synchronously invoke ``name`` with ``payload``.
+
+        Returns the :class:`InvocationRecord`; a handler exception is
+        recorded and re-raised.
+        """
+        record = yield from self._invoke(name, payload,
+                                         requested_at=self.env.now)
+        if record.error is not None:
+            raise record.error
+        return record
+
+    def invoke_async(self, name: str, payload: Any = None):
+        """Process: invoke via the polling service (extra latency).
+
+        Returns the record; errors are captured on it, not raised (an
+        async caller never observes them directly).
+        """
+        requested_at = self.env.now
+        yield self.env.timeout(ASYNC_POLL_S)
+        record = yield from self._invoke(name, payload,
+                                         requested_at=requested_at)
+        return record
+
+    def _invoke(self, name: str, payload: Any, requested_at: float):
+        config = self.function(name)
+        # Admission: wait for concurrency (burst + 500/min ramp + quota).
+        while not self.scaler.admit(self._busy, self.env.now):
+            yield self.env.timeout(ADMISSION_RETRY_S)
+        self._busy += 1
+        sandbox, cold = self._assign(config)
+        sandbox.busy = True
+        try:
+            if cold:
+                yield self.env.timeout(self._coldstart_duration(config))
+            else:
+                yield self.env.timeout(WARMSTART_S)
+            started_at = self.env.now
+            context = FunctionContext(
+                env=self.env, platform=self, config=config,
+                endpoint=sandbox.endpoint, sandbox_id=sandbox.id,
+                cold=cold, region=self.region.name)
+            response = None
+            error: Optional[BaseException] = None
+            handler_process = self.env.process(
+                config.handler(context, payload), name=f"fn-{name}")
+            try:
+                response = yield handler_process
+            except BaseException as exc:  # noqa: BLE001 - recorded, re-raised
+                error = exc
+            record = InvocationRecord(
+                function=name, sandbox_id=sandbox.id, cold=cold,
+                requested_at=requested_at, started_at=started_at,
+                finished_at=self.env.now, response=response, error=error)
+            self.records.append(record)
+            return record
+        finally:
+            sandbox.busy = False
+            sandbox.last_used_at = self.env.now
+            sandbox.invocations += 1
+            self._warm[name].append(sandbox)
+            self._busy -= 1
+
+    # -- assignment / placement -------------------------------------------------
+
+    def _assign(self, config: FunctionConfig) -> tuple[Sandbox, bool]:
+        """Route to a warm sandbox or create a fresh one (coldstart)."""
+        now = self.env.now
+        pool = self._warm[config.name]
+        # Reclaim expired sandboxes lazily.
+        pool[:] = [sandbox for sandbox in pool if not sandbox.expired(now)]
+        if pool:
+            return pool.pop(), False
+        return self._place(config), True
+
+    def _place(self, config: FunctionConfig) -> Sandbox:
+        links = (self.vpc_link,) if self.vpc_link is not None else ()
+        endpoint = self.fabric.endpoint(
+            f"sandbox-{config.name}",
+            ingress=lambda_shaper("in"), egress=lambda_shaper("out"),
+            links=links)
+        idle_lifetime = float(self._rng.lognormal(
+            mean=math.log(IDLE_LIFETIME_MEDIAN_S),
+            sigma=IDLE_LIFETIME_SIGMA))
+        return Sandbox(function=config.name, endpoint=endpoint,
+                       created_at=self.env.now, idle_lifetime=idle_lifetime)
+
+    def _coldstart_duration(self, config: FunctionConfig) -> float:
+        base = (COLDSTART_PLACEMENT_S
+                + config.binary_bytes / COLDSTART_DOWNLOAD_RATE
+                + COLDSTART_INIT_S)
+        base *= self.region.startup_multiplier
+        base *= self.region.congestion(self._rng, self.env.now, warm=False)
+        if self._rng.random() < COLDSTART_STRAGGLER_P:
+            base *= COLDSTART_STRAGGLER_FACTOR
+        # Per-coldstart jitter on top of regional conditions.
+        base *= float(self._rng.lognormal(mean=0.0, sigma=0.15))
+        return base

@@ -1,0 +1,34 @@
+"""Sandboxed execution environments (micro-VMs) of the FaaS worker fleet."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.network.fabric import Endpoint
+
+
+@dataclass
+class Sandbox:
+    """One Firecracker-style execution environment for a function.
+
+    A sandbox keeps the function binary and runtime initialized between
+    invocations (enabling warmstarts) and owns a network endpoint with its
+    own ingress/egress token buckets — the per-function network budget of
+    Section 4.2 belongs to the sandbox, not the invocation.
+    """
+
+    _ids = itertools.count()
+
+    function: str
+    endpoint: Endpoint
+    created_at: float
+    idle_lifetime: float
+    id: int = field(default_factory=lambda: next(Sandbox._ids))
+    last_used_at: float = 0.0
+    busy: bool = False
+    invocations: int = 0
+
+    def expired(self, now: float) -> bool:
+        """Whether the platform would have reclaimed this idle sandbox."""
+        return not self.busy and (now - self.last_used_at) > self.idle_lifetime

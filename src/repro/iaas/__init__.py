@@ -1,0 +1,14 @@
+"""EC2 IaaS simulator: instance fleet and the Lambda-compatible shim.
+
+The paper deploys its query engine either on Lambda or, via a shim layer
+that resembles the Lambda execution environment, on provisioned EC2 VMs
+(Section 3.1 and Figure 4). :class:`Ec2Fleet` provisions instances with
+their catalog network personalities (continuous-refill token buckets that
+grow with instance size, Figure 6); :class:`VmShim` runs the exact same
+function handlers on VM worker slots without coldstarts.
+"""
+
+from repro.iaas.fleet import Ec2Fleet, VmInstance
+from repro.iaas.shim import VmShim
+
+__all__ = ["Ec2Fleet", "VmInstance", "VmShim"]

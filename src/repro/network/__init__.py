@@ -1,0 +1,37 @@
+"""Network fabric simulation.
+
+Models the two rate-limiting regimes the paper reverse-engineers in
+Section 4.2:
+
+* **AWS Lambda**: a dual token bucket per function (independent inbound and
+  outbound), each with ~150 MiB of one-off budget plus ~150 MiB of
+  rechargeable capacity, drained at ~1.2 GiB/s burst; once empty, 7.5 MiB
+  quanta are granted every 100 ms (75 MiB/s baseline). Idle refills the
+  bucket back to half the initial capacity.
+* **AWS EC2**: per-instance token buckets with continuous refill at the
+  instance's baseline bandwidth and drain at its burst bandwidth; bucket
+  size grows with instance size.
+
+Flows between endpoints traverse a set of capacity constraints (endpoint
+shapers plus shared :class:`FluidLink` capacities, e.g. a VPC throughput
+cap) and receive max-min fair rates, recomputed event-drivenly.
+"""
+
+from repro.network.shaper import TokenBucketShaper, lambda_shaper, ec2_shaper
+from repro.network.fabric import Endpoint, Fabric, Flow, FluidLink
+from repro.network.probe import ThroughputProbe
+from repro.network.iperf import IperfClient, IperfServer, IperfResult
+
+__all__ = [
+    "Endpoint",
+    "Fabric",
+    "Flow",
+    "FluidLink",
+    "IperfClient",
+    "IperfResult",
+    "IperfServer",
+    "ThroughputProbe",
+    "TokenBucketShaper",
+    "ec2_shaper",
+    "lambda_shaper",
+]

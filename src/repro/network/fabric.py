@@ -1,0 +1,370 @@
+"""Fluid-flow network fabric with max-min fair bandwidth sharing.
+
+Flows between endpoints receive piecewise-constant rates. A rate
+recomputation happens whenever the constraint picture changes: a flow
+starts or finishes, a token bucket empties, or a quantized grant arrives.
+Between recomputations, transferred bytes advance linearly, so long
+simulated timespans cost only a handful of events.
+
+Constraints are of two kinds:
+
+* :class:`FluidLink` — a fixed shared capacity (e.g. the ~20 GiB/s VPC
+  ceiling of Section 4.2.2, or a storage service's aggregate bandwidth);
+* :class:`~repro.network.shaper.TokenBucketShaper` attached to an
+  :class:`Endpoint` direction — a time-varying aggregate ceiling.
+
+The allocation is standard max-min (progressive filling): repeatedly find
+the most contended constraint, freeze its members at their fair share, and
+subtract.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro import units
+from repro.network.shaper import TokenBucketShaper
+from repro.sim import Environment, Event
+
+#: Rate granted to a flow that crosses no finite constraint (100 Gbps).
+DEFAULT_FREE_RATE = 100 * units.Gbps
+
+#: Completion slack for float drift, in bytes.
+_EPSILON_BYTES = 1e-6
+
+#: Minimum delay for a scheduled rate-recomputation wake. Guarantees the
+#: clock strictly advances between wakes, which float-derived wake times
+#: (one ulp short of a grant boundary) otherwise cannot.
+_MIN_WAKE_DELAY = 1e-9
+
+
+class FluidLink:
+    """A shared, fixed-capacity network constraint."""
+
+    def __init__(self, capacity: float, name: str = "link") -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = float(capacity)
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"<FluidLink {self.name} {units.gib_per_s(self.capacity):.2f} GiB/s>"
+
+
+class Endpoint:
+    """A network attachment point with optional per-direction shapers.
+
+    ``links`` are implicit shared constraints every flow touching this
+    endpoint crosses — e.g. the VPC throughput cap of Section 4.2.2.
+    """
+
+    def __init__(self, fabric: "Fabric", name: str,
+                 ingress: Optional[TokenBucketShaper] = None,
+                 egress: Optional[TokenBucketShaper] = None,
+                 links: tuple["FluidLink", ...] = ()) -> None:
+        self.fabric = fabric
+        self.name = name
+        self.ingress = ingress
+        self.egress = egress
+        self.links = tuple(links)
+
+    def __repr__(self) -> str:
+        return f"<Endpoint {self.name}>"
+
+
+class Flow:
+    """A transfer between two endpoints.
+
+    ``size`` may be ``None`` for an open-ended flow (stopped explicitly
+    via :meth:`stop`, e.g. an iPerf measurement). ``flow.done`` is an event
+    that triggers with the flow once it completes or is stopped.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, fabric: "Fabric", src: Endpoint, dst: Endpoint,
+                 size: Optional[float],
+                 links: tuple[FluidLink, ...] = ()) -> None:
+        self.id = next(Flow._ids)
+        self.fabric = fabric
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.links = tuple(links)
+        self.transferred = 0.0
+        self.rate = 0.0
+        self.started_at = fabric.env.now
+        self.finished_at: Optional[float] = None
+        self.done: Event = fabric.env.event()
+        # Constraints are fixed at creation; cache them (the allocator
+        # walks them millions of times in large simulations).
+        self._constraints: tuple[object, ...] = self._collect_constraints()
+        self._shapers: tuple[TokenBucketShaper, ...] = tuple(
+            c for c in self._constraints
+            if isinstance(c, TokenBucketShaper))
+
+    @property
+    def remaining(self) -> float:
+        """Bytes still to transfer; ``inf`` for open-ended flows."""
+        if self.size is None:
+            return float("inf")
+        return max(0.0, self.size - self.transferred)
+
+    @property
+    def active(self) -> bool:
+        """Whether the flow is still in the fabric."""
+        return self.finished_at is None
+
+    def _collect_constraints(self) -> tuple[object, ...]:
+        found: list[object] = []
+        if self.src.egress is not None:
+            found.append(self.src.egress)
+        if self.dst.ingress is not None:
+            found.append(self.dst.ingress)
+        found.extend(self.src.links)
+        found.extend(self.dst.links)
+        found.extend(self.links)
+        return tuple(found)
+
+    def constraints(self) -> tuple[object, ...]:
+        """All finite constraints this flow crosses (cached)."""
+        return self._constraints
+
+    def shapers(self) -> tuple[TokenBucketShaper, ...]:
+        """The token-bucket shapers among the constraints (cached)."""
+        return self._shapers
+
+    def stop(self) -> None:
+        """Terminate an open-ended flow now."""
+        self.fabric.stop_flow(self)
+
+    def __repr__(self) -> str:
+        return (f"<Flow #{self.id} {self.src.name}->{self.dst.name} "
+                f"{self.transferred:.0f}B rate={self.rate:.0f}B/s>")
+
+
+class Fabric:
+    """Event-driven fluid network simulator."""
+
+    def __init__(self, env: Environment,
+                 default_rate: float = DEFAULT_FREE_RATE) -> None:
+        self.env = env
+        self.default_rate = float(default_rate)
+        self._flows: set[Flow] = set()
+        self._last_sync = env.now
+        self._wake_version = 0
+        #: Active-flow count per shaper, for O(1) idle detection.
+        self._shaper_members: dict[TokenBucketShaper, int] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def endpoint(self, name: str,
+                 ingress: Optional[TokenBucketShaper] = None,
+                 egress: Optional[TokenBucketShaper] = None,
+                 links: tuple[FluidLink, ...] = ()) -> Endpoint:
+        """Create an endpoint attached to this fabric."""
+        return Endpoint(self, name, ingress=ingress, egress=egress, links=links)
+
+    def link(self, capacity: float, name: str = "link") -> FluidLink:
+        """Create a shared fixed-capacity constraint."""
+        return FluidLink(capacity, name=name)
+
+    def transfer(self, src: Endpoint, dst: Endpoint, size: float,
+                 links: tuple[FluidLink, ...] = ()) -> Flow:
+        """Start a bounded transfer of ``size`` bytes; returns the flow.
+
+        Processes wait on ``flow.done`` for completion.
+        """
+        if size <= 0:
+            raise ValueError(f"transfer size must be positive, got {size}")
+        return self._add_flow(Flow(self, src, dst, float(size), links))
+
+    def open_flow(self, src: Endpoint, dst: Endpoint,
+                  links: tuple[FluidLink, ...] = ()) -> Flow:
+        """Start an open-ended flow (e.g. a bandwidth measurement)."""
+        return self._add_flow(Flow(self, src, dst, None, links))
+
+    def stop_flow(self, flow: Flow) -> None:
+        """Remove ``flow`` from the fabric, triggering its ``done`` event."""
+        if not flow.active:
+            return
+        self.sync_now()
+        self._finish(flow)
+        self._update()
+
+    def sync_now(self) -> None:
+        """Advance transferred bytes and bucket levels to ``env.now``.
+
+        Rates are *not* recomputed; use this before reading
+        ``flow.transferred`` or shaper levels from a probe.
+        """
+        now = self.env.now
+        elapsed = now - self._last_sync
+        if elapsed <= 0:
+            return
+        consumption = self._shaper_consumption()
+        for flow in self._flows:
+            flow.transferred += flow.rate * elapsed
+        for shaper, rate in consumption.items():
+            shaper.advance(now, elapsed, rate)
+        self._last_sync = now
+
+    def total_rate(self) -> float:
+        """Aggregate rate of all active flows right now (bytes/s)."""
+        return sum(flow.rate for flow in self._flows)
+
+    # -- internals ------------------------------------------------------------
+
+    def _add_flow(self, flow: Flow) -> Flow:
+        self.sync_now()
+        for shaper in flow.shapers():
+            shaper.on_activate(self.env.now)
+            self._shaper_members[shaper] = \
+                self._shaper_members.get(shaper, 0) + 1
+        self._flows.add(flow)
+        self._update()
+        return flow
+
+    def _shaper_consumption(self) -> dict[TokenBucketShaper, float]:
+        consumption: dict[TokenBucketShaper, float] = {}
+        for flow in self._flows:
+            for shaper in flow.shapers():
+                consumption[shaper] = (consumption.get(shaper, 0.0)
+                                       + flow.rate)
+        return consumption
+
+    def _finish(self, flow: Flow) -> None:
+        flow.finished_at = self.env.now
+        flow.rate = 0.0
+        self._flows.discard(flow)
+        # Idle-refill shapers that just lost their last flow.
+        for shaper in flow.shapers():
+            count = self._shaper_members.get(shaper, 1) - 1
+            if count <= 0:
+                self._shaper_members.pop(shaper, None)
+                shaper.on_idle(self.env.now)
+            else:
+                self._shaper_members[shaper] = count
+        flow.done.succeed(flow)
+
+    def _update(self) -> None:
+        """Sync, complete finished flows, recompute rates, schedule wake."""
+        self.sync_now()
+        completed = [flow for flow in self._flows
+                     if flow.remaining <= _EPSILON_BYTES]
+        for flow in completed:
+            if flow.size is not None:
+                flow.transferred = flow.size
+            self._finish(flow)
+        self._recompute_rates()
+        self._schedule_wake()
+
+    def _recompute_rates(self) -> None:
+        """Max-min fair allocation across all active flows.
+
+        Flows that share no constraint are independent; the allocation
+        decomposes into connected components (constraint-sharing groups)
+        and progressive filling runs per component. With hundreds of
+        workers each behind their own shaper this turns a quadratic
+        global solve into near-linear work.
+        """
+        flows = list(self._flows)
+        if not flows:
+            return
+        members: dict[int, set[Flow]] = {}
+        capacity_of: dict[int, float] = {}
+        flow_constraints: dict[Flow, list[int]] = {}
+        for flow in flows:
+            ids = []
+            for constraint in flow.constraints():
+                key = id(constraint)
+                if key not in members:
+                    if isinstance(constraint, TokenBucketShaper):
+                        capacity_of[key] = constraint.allowed_rate()
+                    else:
+                        capacity_of[key] = constraint.capacity
+                    members[key] = set()
+                members[key].add(flow)
+                ids.append(key)
+            flow_constraints[flow] = ids
+
+        # Connected components over the flow/constraint bipartite graph.
+        component_of: dict[Flow, int] = {}
+        component_id = 0
+        for seed in flows:
+            if seed in component_of:
+                continue
+            queue = [seed]
+            component_of[seed] = component_id
+            while queue:
+                flow = queue.pop()
+                for key in flow_constraints[flow]:
+                    for neighbour in members[key]:
+                        if neighbour not in component_of:
+                            component_of[neighbour] = component_id
+                            queue.append(neighbour)
+            component_id += 1
+        components: list[list[Flow]] = [[] for _ in range(component_id)]
+        for flow, cid in component_of.items():
+            components[cid].append(flow)
+
+        for component in components:
+            self._fill_component(component, members, capacity_of,
+                                 flow_constraints)
+
+    def _fill_component(self, flows: list[Flow],
+                        members: dict[int, set[Flow]],
+                        capacity_of: dict[int, float],
+                        flow_constraints: dict[Flow, list[int]]) -> None:
+        """Progressive filling within one constraint-sharing component."""
+        remaining = {key: capacity_of[key]
+                     for flow in flows for key in flow_constraints[flow]}
+        live: dict[int, set[Flow]] = {key: members[key] & set(flows)
+                                      for key in remaining}
+        unfrozen = set(flows)
+        while unfrozen:
+            best_key = None
+            best_share = None
+            for key, flows_here in live.items():
+                if not flows_here:
+                    continue
+                share = max(0.0, remaining[key]) / len(flows_here)
+                if best_share is None or share < best_share:
+                    best_share = share
+                    best_key = key
+            if best_key is None:
+                # No finite constraints left: grant the default free rate.
+                for flow in unfrozen:
+                    flow.rate = self.default_rate
+                break
+            frozen_now = list(live[best_key])
+            for flow in frozen_now:
+                flow.rate = best_share
+                unfrozen.discard(flow)
+                for key in flow_constraints[flow]:
+                    remaining[key] -= best_share
+                    live[key].discard(flow)
+
+    def _schedule_wake(self) -> None:
+        now = self.env.now
+        wake_at = float("inf")
+        # Flow completions.
+        for flow in self._flows:
+            if flow.size is not None and flow.rate > 0:
+                wake_at = min(wake_at, now + flow.remaining / flow.rate)
+        # Shaper state changes.
+        for shaper, rate in self._shaper_consumption().items():
+            wake_at = min(wake_at, shaper.next_change(now, rate))
+        self._wake_version += 1
+        if wake_at == float("inf"):
+            return
+        version = self._wake_version
+        delay = max(_MIN_WAKE_DELAY, wake_at - now)
+        timeout = self.env.timeout(delay)
+        timeout.callbacks.append(lambda _event: self._on_wake(version))
+
+    def _on_wake(self, version: int) -> None:
+        if version != self._wake_version:
+            return  # superseded by a newer recomputation
+        self._update()

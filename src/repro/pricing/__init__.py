@@ -1,0 +1,50 @@
+"""AWS price catalog and cost modelling.
+
+Implements the economic side of the paper:
+
+* :mod:`repro.pricing.catalog` — the price constants of Tables 1 and 2
+  (Lambda, EC2 C6g/C6gd/C6gn, S3 Standard/Express, DynamoDB, EFS, EBS),
+  us-east-1, as of the paper's time frame;
+* :mod:`repro.pricing.calculator` — experiment cost accounting (the
+  paper's driver estimates cost from request counts and compute runtimes
+  via the AWS price list service, Section 3.1);
+* :mod:`repro.pricing.breakeven` — the break-even formulas of Section 5:
+  the two five-minute-rule variants (capacity-priced and request-priced
+  storage), the shuffle break-even access size (BEAS), and the FaaS/IaaS
+  break-even query throughput.
+"""
+
+from repro.pricing.catalog import (
+    EBS_GP3,
+    EC2_INSTANCES,
+    EC2InstanceType,
+    LAMBDA_PRICING,
+    LambdaPricing,
+    STORAGE_PRICES,
+    StoragePricing,
+    ec2_instance,
+)
+from repro.pricing.calculator import CostCalculator, ExperimentCost
+from repro.pricing.breakeven import (
+    break_even_access_size,
+    break_even_interval_capacity,
+    break_even_interval_requests,
+    faas_break_even_queries_per_hour,
+)
+
+__all__ = [
+    "CostCalculator",
+    "EBS_GP3",
+    "EC2InstanceType",
+    "EC2_INSTANCES",
+    "ExperimentCost",
+    "LAMBDA_PRICING",
+    "LambdaPricing",
+    "STORAGE_PRICES",
+    "StoragePricing",
+    "break_even_access_size",
+    "break_even_interval_capacity",
+    "break_even_interval_requests",
+    "ec2_instance",
+    "faas_break_even_queries_per_hour",
+]

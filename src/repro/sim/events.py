@@ -1,0 +1,280 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+Events follow a small state machine: *pending* (created, not yet triggered),
+*triggered* (scheduled for processing at some timestamp), and *processed*
+(callbacks have run). Processes are events themselves: a process event
+triggers when its underlying generator returns (or fails).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.sim.errors import Interrupt, SimulationError
+
+PENDING = object()
+"""Unique sentinel marking an event value as not yet decided."""
+
+
+class Event:
+    """An event that may happen at some point in simulated time.
+
+    Callbacks (``event.callbacks``) are invoked with the event as their only
+    argument when the event is processed. An event carries a ``value`` that
+    waiting processes receive, and an ``ok`` flag; a failed event re-raises
+    its value (an exception) inside any process waiting on it.
+    """
+
+    def __init__(self, env: "Environment") -> None:  # noqa: F821
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok = True
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled with a value."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded; only meaningful once triggered."""
+        if self._value is PENDING:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event is still pending."""
+        if self._value is PENDING:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters will see ``exception``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel does not abort."""
+        self._defused = True
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed delay of simulated time."""
+
+    def __init__(self, env: "Environment", delay: float,  # noqa: F821
+                 value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self._delay} at {id(self):#x}>"
+
+
+class Initialize(Event):
+    """Internal event that starts a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:  # noqa: F821
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=0)
+
+
+class Process(Event):
+    """Wraps a generator so it can be executed as a simulation process.
+
+    The process advances by sending the value of each yielded event back
+    into the generator. The process event itself triggers with the
+    generator's return value, or fails with an uncaught exception.
+    """
+
+    def __init__(self, env: "Environment",  # noqa: F821
+                 generator: Generator[Event, Any, Any],
+                 name: Optional[str] = None) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for, if any."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not terminated."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw an :class:`Interrupt` into this process.
+
+        The interrupt is delivered via an immediately scheduled event so
+        that interrupting is safe from within any other process.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self} has terminated and cannot be interrupted")
+        if self._generator is self.env.active_process_generator:
+            raise SimulationError("a process cannot interrupt itself")
+        # Unhook from whatever the process was waiting on, so the stale
+        # target cannot resume the process again after the interrupt.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks = [self._resume]
+        self.env.schedule(event, priority=0)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self.env._active_process = self
+        while True:
+            if event._ok:
+                try:
+                    next_target = self._generator.send(event._value)
+                except StopIteration as stop:
+                    self._terminate(True, stop.value)
+                    break
+                except BaseException as exc:
+                    self._terminate(False, exc)
+                    break
+            else:
+                event._defused = True
+                try:
+                    next_target = self._generator.throw(event._value)
+                except StopIteration as stop:
+                    self._terminate(True, stop.value)
+                    break
+                except BaseException as exc:
+                    self._terminate(False, exc)
+                    break
+            if not isinstance(next_target, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_target!r}")
+                event = Event(self.env)
+                event._ok = False
+                event._value = exc
+                event._defused = True
+                continue
+            if next_target.callbacks is not None:
+                # The target has not been processed yet: park this process.
+                next_target.callbacks.append(self._resume)
+                self._target = next_target
+                break
+            # The target was already processed; feed its value immediately.
+            event = next_target
+        self.env._active_process = None
+
+    def _terminate(self, ok: bool, value: Any) -> None:
+        self._target = None
+        self._ok = ok
+        self._value = value
+        self.env.schedule(self)
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} at {id(self):#x}>"
+
+
+class ConditionValue(dict):
+    """Mapping of events to their values for condition events."""
+
+
+class _Condition(Event):
+    """Base class for :class:`AllOf` / :class:`AnyOf` composite events."""
+
+    def __init__(self, env: "Environment",  # noqa: F821
+                 events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._pending = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                self._pending += 1
+                event.callbacks.append(self._check)
+        if not self._events and self._value is PENDING:
+            self.succeed(ConditionValue())
+
+    def _collect_values(self) -> ConditionValue:
+        values = ConditionValue()
+        for event in self._events:
+            if event.callbacks is None and event._ok:
+                values[event] = event._value
+        return values
+
+    def _check(self, event: Event) -> None:
+        if not event._ok:
+            # The condition absorbs member failures — including ones that
+            # arrive after the condition already triggered (e.g. a second
+            # concurrent process failing after the first one did).
+            event._defused = True
+        if self._value is not PENDING:
+            return
+        if not event._ok:
+            self.fail(event._value)
+        elif self._satisfied():
+            self.succeed(self._collect_values())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Event that triggers once all given events have triggered."""
+
+    def _satisfied(self) -> bool:
+        return all(event.processed for event in self._events)
+
+
+class AnyOf(_Condition):
+    """Event that triggers as soon as any one of the given events does."""
+
+    def _satisfied(self) -> bool:
+        return any(event.processed for event in self._events)

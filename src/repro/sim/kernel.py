@@ -1,0 +1,128 @@
+"""The simulation environment: virtual clock and event queue."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional
+
+from repro.sim.errors import EmptySchedule, SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
+
+#: Default priority for ordinary events. Urgent events (process init,
+#: interrupts) use priority 0 so they run before same-timestamp events.
+NORMAL_PRIORITY = 1
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    The environment keeps the virtual clock (:attr:`now`, in seconds) and a
+    priority queue of triggered events. Time only advances when :meth:`run`
+    or :meth:`step` processes events; scheduling is O(log n).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    @property
+    def active_process_generator(self):
+        """Generator of the active process (used for self-interrupt checks)."""
+        return self._active_process._generator if self._active_process else None
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: Optional[str] = None) -> Process:
+        """Start a new process executing ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        """Event that triggers when all of ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event that triggers when any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # -- scheduling and execution ------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = NORMAL_PRIORITY) -> None:
+        """Queue ``event`` for processing ``delay`` seconds from now."""
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Timestamp of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event, advancing the clock."""
+        try:
+            when, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no more events scheduled") from None
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # An unhandled failure: abort the simulation loudly rather than
+            # silently dropping the exception.
+            if isinstance(event._value, BaseException):
+                raise event._value
+            raise SimulationError(f"event failed with non-exception {event._value!r}")
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue is empty), a number
+        (run until the clock reaches that time), or an :class:`Event` (run
+        until that event is processed, returning its value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until={stop_time} lies in the past (now={self._now})")
+        while True:
+            if stop_event is not None and stop_event.processed:
+                if not stop_event.ok:
+                    raise stop_event.value
+                return stop_event.value
+            upcoming = self.peek()
+            if upcoming == float("inf"):
+                if stop_event is not None:
+                    raise SimulationError(
+                        "simulation ended before the awaited event triggered")
+                return None
+            if upcoming > stop_time:
+                self._now = stop_time
+                return None
+            self.step()

@@ -1,0 +1,40 @@
+"""Error types raised by storage service simulators."""
+
+from __future__ import annotations
+
+
+class StorageError(Exception):
+    """Base class for storage service failures."""
+
+    #: Whether a client may retry the request.
+    retryable = False
+
+
+class NoSuchKey(StorageError):
+    """The requested key/object/file does not exist."""
+
+
+class SlowDown(StorageError):
+    """S3-style 503 SlowDown: the prefix partition is over its request rate.
+
+    Clients are expected to retry with exponential backoff (cf. the
+    retry/backoff discussion around Figure 11).
+    """
+
+    retryable = True
+
+
+class Throttled(StorageError):
+    """DynamoDB/EFS-style throttling: provisioned or burst capacity exceeded."""
+
+    retryable = True
+
+
+class RequestTimeout(StorageError):
+    """The request exceeded the client's configured timeout."""
+
+    retryable = True
+
+
+class ItemTooLarge(StorageError):
+    """The value exceeds the service's item/object size limit."""

@@ -1,0 +1,84 @@
+"""Calibrated request latency distributions.
+
+Figure 10 of the paper shows per-service latency distributions over one
+million 1 KiB requests. We model each service/operation pair as a
+lognormal body (parameterized by its median and 95th percentile) mixed
+with a Pareto tail that produces the rare extreme outliers S3 Standard
+exhibits (slowest read ~374x the median).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Lognormal-body + Pareto-tail latency distribution.
+
+    Parameters
+    ----------
+    median:
+        Median latency in seconds.
+    p95:
+        95th-percentile latency in seconds; must exceed ``median``.
+    tail_probability:
+        Chance that a request falls into the heavy Pareto tail.
+    tail_alpha:
+        Pareto shape for tail samples (smaller = heavier tail).
+    ceiling:
+        Hard upper bound on any sample (service-side request deadline).
+    """
+
+    median: float
+    p95: float
+    tail_probability: float = 0.0
+    tail_alpha: float = 1.5
+    ceiling: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.median <= 0:
+            raise ValueError(f"median must be positive, got {self.median}")
+        if self.p95 < self.median:
+            raise ValueError("p95 must be >= median")
+        if not 0 <= self.tail_probability < 1:
+            raise ValueError("tail_probability must be in [0, 1)")
+
+    @property
+    def sigma(self) -> float:
+        """Lognormal shape parameter implied by the median/p95 pair."""
+        if self.p95 == self.median:
+            return 0.0
+        # For X ~ LogNormal(mu, sigma): p95 = median * exp(1.645 * sigma).
+        return math.log(self.p95 / self.median) / 1.6448536269514722
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` latencies (seconds) as a numpy array."""
+        mu = math.log(self.median)
+        body = rng.lognormal(mean=mu, sigma=self.sigma, size=size)
+        if self.tail_probability > 0:
+            in_tail = rng.random(size) < self.tail_probability
+            n_tail = int(in_tail.sum())
+            if n_tail:
+                # Tail samples start at the p95 and decay as Pareto(alpha).
+                tail = self.p95 * (1.0 + rng.pareto(self.tail_alpha, size=n_tail))
+                body[in_tail] = tail
+        return np.minimum(body, self.ceiling)
+
+    def sample_one(self, rng: np.random.Generator) -> float:
+        """Draw a single latency (seconds)."""
+        return float(self.sample(rng, size=1)[0])
+
+
+def percentile_summary(samples: np.ndarray) -> dict[str, float]:
+    """Summary statistics used when reporting Figure 10 style results."""
+    return {
+        "p50": float(np.percentile(samples, 50)),
+        "p95": float(np.percentile(samples, 95)),
+        "p99": float(np.percentile(samples, 99)),
+        "max": float(np.max(samples)),
+        "mean": float(np.mean(samples)),
+    }

@@ -1,0 +1,89 @@
+"""Simulator of the S3 Standard object store.
+
+Calibration (Sections 2.2, 4.3, 4.4 of the paper):
+
+* request latency: read median 27 ms / p95 75 ms, write median 40 ms, with
+  rare heavy-tail outliers up to ~10 s (374x the median over 1M requests);
+* IOPS: 5.5K reads and 3.5K writes per prefix partition, with partitions
+  splitting under sustained read load (~1 partition per ~6.5 min of
+  sustained overload) and merging back after days of idleness;
+* throughput: scales linearly with offered load (no practical service-side
+  ceiling in the evaluated range — client NICs bottleneck first);
+* requests are priced independently of size (1 B – 5 TiB).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import units
+from repro.network.fabric import Fabric
+from repro.sim import Environment, RandomStreams
+from repro.storage.base import (
+    FluidAdmission,
+    RequestType,
+    StorageService,
+)
+from repro.storage.errors import SlowDown
+from repro.storage.latency import LatencyModel
+from repro.storage.partitions import PartitionTree
+
+#: Figure 10 calibration: S3 Standard has the highest median and tail
+#: latencies of all evaluated services.
+S3_READ_LATENCY = LatencyModel(median=0.027, p95=0.075,
+                               tail_probability=2e-4, tail_alpha=1.1,
+                               ceiling=10.5)
+S3_WRITE_LATENCY = LatencyModel(median=0.040, p95=0.110,
+                                tail_probability=2e-4, tail_alpha=1.1,
+                                ceiling=10.5)
+
+#: S3 accepts objects from 1 B to 5 TiB; request price is size-independent.
+S3_MAX_OBJECT_SIZE = 5 * units.TiB
+
+
+class S3Standard(StorageService):
+    """S3 Standard: scalable throughput, partition-limited IOPS."""
+
+    name = "s3-standard"
+
+    def __init__(self, env: Environment, fabric: Fabric, rng: RandomStreams,
+                 partitions: Optional[PartitionTree] = None) -> None:
+        super().__init__(env, fabric, rng,
+                         read_latency=S3_READ_LATENCY,
+                         write_latency=S3_WRITE_LATENCY,
+                         read_bandwidth=None, write_bandwidth=None,
+                         max_item_size=S3_MAX_OBJECT_SIZE)
+        self.partitions = partitions if partitions is not None else PartitionTree()
+
+    @property
+    def partition_count(self) -> int:
+        """Current number of prefix partitions backing the bucket."""
+        return self.partitions.partition_count
+
+    def _admit_one(self, op: RequestType, key: str) -> None:
+        is_read = op is RequestType.GET
+        if not self.partitions.try_admit(key, is_read, self.env.now):
+            self.stats.record(op, "throttled")
+            raise SlowDown(
+                f"s3: prefix partition over its "
+                f"{'read' if is_read else 'write'} rate for key {key!r}")
+
+    def _admit_rate(self, read_iops: float, write_iops: float,
+                    elapsed: float, now: float) -> FluidAdmission:
+        step = self.partitions.offer_load(read_iops, write_iops, elapsed,
+                                          now=now)
+        return FluidAdmission(accepted_read=step.accepted_read,
+                              rejected_read=step.rejected_read,
+                              accepted_write=step.accepted_write,
+                              rejected_write=step.rejected_write)
+
+    def prewarm(self, partition_count: int) -> None:
+        """Pre-split the bucket to ``partition_count`` partitions.
+
+        Models a bucket that has seen sustained load (e.g. the "warm"
+        bucket of the Figure 15 shuffle experiment). The resulting
+        partitions tile the key space evenly, as they would after S3
+        rebalanced a uniformly loaded bucket.
+        """
+        if partition_count > self.partitions.partition_count:
+            self.partitions.retile(partition_count, now=self.env.now)

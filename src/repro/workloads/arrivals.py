@@ -1,0 +1,140 @@
+"""Query arrival workloads: dynamic cost comparison of FaaS vs IaaS.
+
+Section 5.2 derives the break-even query throughput analytically (a
+peak-provisioned cluster's hourly rate divided by the per-query FaaS
+cost). This module validates it dynamically: a Poisson arrival process
+submits queries over a simulated window; the FaaS deployment pays per
+invocation while the IaaS deployment pays for the provisioned cluster's
+uptime — the measured cost curves cross where the formula predicts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.context import CloudSim
+from repro.engine import SkyriseEngine
+from repro.engine.plan import PhysicalPlan
+from repro.iaas import VmShim
+from repro.pricing import ec2_instance
+from repro.pricing.calculator import CostCalculator
+from repro.workloads.suite import SuiteSetup, setup_engine
+
+
+@dataclass
+class ArrivalOutcome:
+    """Cost and latency of serving one arrival pattern on one deployment."""
+
+    backend: str
+    queries_per_hour: float
+    window_s: float
+    queries_run: int
+    compute_cost_usd: float
+    runtimes: list[float] = field(default_factory=list)
+
+    @property
+    def cost_per_query(self) -> float:
+        """Average compute dollars per executed query."""
+        if not self.queries_run:
+            return float("inf")
+        return self.compute_cost_usd / self.queries_run
+
+    @property
+    def median_runtime(self) -> float:
+        """Median query latency over the window."""
+        ordered = sorted(self.runtimes)
+        return ordered[len(ordered) // 2] if ordered else 0.0
+
+
+def poisson_arrivals(rng, rate_per_hour: float, window_s: float
+                     ) -> list[float]:
+    """Arrival offsets (seconds) of a Poisson process over the window."""
+    if rate_per_hour <= 0:
+        raise ValueError("rate must be positive")
+    times = []
+    now = 0.0
+    rate_per_s = rate_per_hour / 3_600.0
+    while True:
+        now += rng.exponential(1.0 / rate_per_s)
+        if now >= window_s:
+            return times
+        times.append(now)
+
+
+def run_arrival_workload(backend: str, plan: PhysicalPlan,
+                         queries_per_hour: float,
+                         window_s: float = 1_800.0,
+                         setup: SuiteSetup | None = None,
+                         vm_count: int = 8,
+                         seed: int = 0) -> ArrivalOutcome:
+    """Serve a Poisson query stream on one deployment; return its cost.
+
+    FaaS cost: billed function time of every invocation the stream
+    caused. IaaS cost: the provisioned cluster's uptime over the window
+    regardless of load (the peak-provisioning premise of Section 5.2).
+    """
+    sim = CloudSim(seed=seed)
+    setup = setup or SuiteSetup(queries=("tpch-q6",),
+                                lineitem_partitions=4,
+                                rows_per_partition=96)
+    engine = setup_engine(sim, setup, backend=backend, vm_count=vm_count)
+    arrival_rng = sim.rng.stream("arrivals")
+    arrivals = poisson_arrivals(arrival_rng, queries_per_hour, window_s)
+    outcome = ArrivalOutcome(backend=backend,
+                             queries_per_hour=queries_per_hour,
+                             window_s=window_s, queries_run=0,
+                             compute_cost_usd=0.0)
+
+    def query_at(env, offset: float):
+        yield env.timeout(offset)
+        result = yield from engine.run_query(plan)
+        outcome.queries_run += 1
+        outcome.runtimes.append(result.runtime)
+
+    def scenario(env):
+        processes = [env.process(query_at(env, offset))
+                     for offset in arrivals]
+        for process in processes:
+            yield process
+        # Bill the window even if the last query overran it slightly.
+        if env.now < window_s:
+            yield env.timeout(window_s - env.now)
+
+    sim.run(sim.env.process(scenario(sim.env)))
+
+    calculator = CostCalculator()
+    if backend == "faas":
+        for record in sim.platform.records:
+            config = sim.platform.function(record.function)
+            calculator.add_function_invocation(config.memory_bytes,
+                                               record.duration)
+    else:
+        instance = ec2_instance("c6g.xlarge")
+        hours = max(sim.env.now, window_s) / 3_600.0
+        calculator.cost.compute_iaas += vm_count * instance.hourly_usd * hours
+    outcome.compute_cost_usd = calculator.cost.total
+    return outcome
+
+
+def cost_crossover(plan: PhysicalPlan, rates: list[float],
+                   window_s: float = 1_800.0, vm_count: int = 8,
+                   setup: SuiteSetup | None = None,
+                   seed: int = 0) -> dict:
+    """Measure FaaS and IaaS cost across arrival rates.
+
+    Returns the per-rate outcomes and the measured crossover rate (the
+    lowest rate at which IaaS is cheaper), for comparison against the
+    analytic break-even.
+    """
+    outcomes: dict[str, list[ArrivalOutcome]] = {"faas": [], "iaas": []}
+    for rate in rates:
+        for backend in ("faas", "iaas"):
+            outcomes[backend].append(run_arrival_workload(
+                backend, plan, rate, window_s=window_s, setup=setup,
+                vm_count=vm_count, seed=seed))
+    crossover = math.inf
+    for faas, iaas in zip(outcomes["faas"], outcomes["iaas"]):
+        if iaas.compute_cost_usd < faas.compute_cost_usd:
+            crossover = min(crossover, faas.queries_per_hour)
+    return {"outcomes": outcomes, "crossover_rate": crossover}

@@ -1,0 +1,212 @@
+"""Tests for the FaaS platform simulator."""
+
+import pytest
+
+from repro import units
+from repro.faas import (
+    ConcurrencyScaler,
+    FunctionConfig,
+    LambdaPlatform,
+    REGIONS,
+)
+from repro.faas.platform import IDLE_LIFETIME_MEDIAN_S
+from repro.network import Fabric
+from repro.sim import Environment, RandomStreams
+
+
+def noop_handler(context, payload):
+    """A minimal function: returns its payload untouched."""
+    yield context.env.timeout(0.001)
+    return payload
+
+
+def make_platform(region="us-east-1", quota=1_000):
+    env = Environment()
+    fabric = Fabric(env)
+    rng = RandomStreams(seed=11)
+    platform = LambdaPlatform(env, fabric, rng, region=region,
+                              account_quota=quota)
+    platform.deploy(FunctionConfig(name="noop", handler=noop_handler))
+    return env, platform
+
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run(until=proc)
+    return proc.value
+
+
+class TestFunctionConfig:
+    def test_vcpus_follow_memory(self):
+        config = FunctionConfig(name="f", handler=noop_handler,
+                                memory_bytes=7_076 * units.MiB)
+        assert config.vcpus == pytest.approx(4.0, rel=0.01)
+
+    def test_memory_bounds_validated(self):
+        with pytest.raises(ValueError):
+            FunctionConfig(name="f", handler=noop_handler,
+                           memory_bytes=64 * units.MiB)
+        with pytest.raises(ValueError):
+            FunctionConfig(name="f", handler=noop_handler,
+                           memory_bytes=20 * units.GiB)
+
+
+class TestInvocation:
+    def test_first_invocation_is_cold(self):
+        env, platform = make_platform()
+        record = run(env, platform.invoke("noop", {"x": 1}))
+        assert record.cold
+        assert record.response == {"x": 1}
+        assert record.ok
+
+    def test_second_invocation_is_warm_and_faster(self):
+        env, platform = make_platform()
+        first = run(env, platform.invoke("noop"))
+        second = run(env, platform.invoke("noop"))
+        assert not second.cold
+        assert second.init_duration < first.init_duration
+        # Coldstarts for small binaries are hundreds of ms; warmstarts
+        # tens of ms.
+        assert first.init_duration > 0.08
+        assert second.init_duration < 0.04
+
+    def test_invoking_unknown_function_raises(self):
+        env, platform = make_platform()
+        with pytest.raises(KeyError, match="not deployed"):
+            run(env, platform.invoke("ghost"))
+
+    def test_handler_error_recorded_and_raised(self):
+        env, platform = make_platform()
+
+        def failing(context, payload):
+            yield context.env.timeout(0.001)
+            raise RuntimeError("handler blew up")
+
+        platform.deploy(FunctionConfig(name="bad", handler=failing))
+
+        def scenario(env):
+            try:
+                yield from platform.invoke("bad")
+            except RuntimeError as exc:
+                return str(exc)
+
+        assert run(env, scenario(env)) == "handler blew up"
+        assert platform.records[-1].error is not None
+
+    def test_async_invocation_adds_polling_latency(self):
+        env, platform = make_platform()
+        sync = run(env, platform.invoke("noop"))
+        # Warm the pool, then compare warm sync vs warm async.
+        warm_sync = run(env, platform.invoke("noop"))
+        warm_async = run(env, platform.invoke_async("noop"))
+        assert warm_async.total_latency > warm_sync.total_latency
+        del sync
+
+    def test_sandbox_reuse_tracks_invocations(self):
+        env, platform = make_platform()
+        first = run(env, platform.invoke("noop"))
+        second = run(env, platform.invoke("noop"))
+        assert first.sandbox_id == second.sandbox_id
+
+    def test_sandbox_expires_after_idle_lifetime(self):
+        env, platform = make_platform()
+        run(env, platform.invoke("noop"))
+
+        def later(env):
+            # Far beyond any sampled idle lifetime.
+            yield env.timeout(IDLE_LIFETIME_MEDIAN_S * 50)
+            record = yield from platform.invoke("noop")
+            return record
+
+        record = run(env, later(env))
+        assert record.cold
+
+    def test_concurrent_invocations_use_distinct_sandboxes(self):
+        env, platform = make_platform()
+
+        def slow(context, payload):
+            yield context.env.timeout(1.0)
+            return context.sandbox_id
+
+        platform.deploy(FunctionConfig(name="slow", handler=slow))
+
+        def scenario(env):
+            procs = [env.process(platform.invoke("slow")) for _ in range(5)]
+            records = []
+            for proc in procs:
+                records.append((yield proc))
+            return records
+
+        records = run(env, scenario(env))
+        sandbox_ids = {record.sandbox_id for record in records}
+        assert len(sandbox_ids) == 5
+
+    def test_region_multiplier_slows_coldstarts(self):
+        env_us, us = make_platform("us-east-1")
+        env_eu, eu = make_platform("eu-west-1")
+        cold_us = run(env_us, us.invoke("noop")).init_duration
+        cold_eu = run(env_eu, eu.invoke("noop")).init_duration
+        # EU coldstarts are ~1.5x slower; jitter can blur a single sample,
+        # so compare with slack.
+        assert cold_eu > cold_us
+
+
+class TestConcurrencyScaling:
+    def test_allowance_starts_at_burst(self):
+        scaler = ConcurrencyScaler(burst_limit=3_000, account_quota=10_000)
+        assert scaler.allowance(0.0) == 3_000
+
+    def test_ramp_grows_at_500_per_minute(self):
+        scaler = ConcurrencyScaler(burst_limit=3_000, account_quota=10_000)
+        scaler.note_demand(3_000, now=0.0)
+        assert scaler.allowance(60.0) == 3_500
+        assert scaler.allowance(300.0) == 5_500
+
+    def test_allowance_capped_at_quota(self):
+        scaler = ConcurrencyScaler(burst_limit=3_000, account_quota=4_000)
+        scaler.note_demand(4_000, now=0.0)
+        assert scaler.allowance(3_600.0) == 4_000
+
+    def test_ramp_resets_when_load_subsides(self):
+        scaler = ConcurrencyScaler(burst_limit=3_000, account_quota=10_000)
+        scaler.note_demand(3_000, now=0.0)
+        assert scaler.allowance(60.0) == 3_500
+        scaler.note_demand(10, now=61.0)
+        assert scaler.allowance(120.0) == 3_000
+
+    def test_quota_limits_platform_concurrency(self):
+        env, platform = make_platform(quota=3)
+
+        def slow(context, payload):
+            yield context.env.timeout(10.0)
+
+        platform.deploy(FunctionConfig(name="slow", handler=slow))
+
+        def scenario(env):
+            procs = [env.process(platform.invoke("slow")) for _ in range(4)]
+            yield env.timeout(5.0)
+            running = platform.concurrent_executions
+            for proc in procs:
+                yield proc
+            return running
+
+        running_mid = run(env, scenario(env))
+        assert running_mid == 3
+
+
+class TestRegions:
+    def test_known_regions_present(self):
+        assert set(REGIONS) == {"us-east-1", "eu-west-1", "ap-northeast-1"}
+
+    def test_congestion_factor_positive_unit_scale(self):
+        import numpy as np
+        rng = np.random.default_rng(0)
+        profile = REGIONS["us-east-1"]
+        draws = [profile.congestion(rng, now=0.0, warm=False)
+                 for _ in range(2_000)]
+        assert all(d > 0 for d in draws)
+        assert sum(draws) / len(draws) == pytest.approx(1.0, rel=0.05)
+
+    def test_cold_variability_exceeds_warm_in_us(self):
+        profile = REGIONS["us-east-1"]
+        assert profile.cold_cov > profile.warm_cov

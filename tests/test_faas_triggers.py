@@ -1,0 +1,101 @@
+"""Tests for queue-based event triggers (Figure 1's polling service)."""
+
+import pytest
+
+from repro import units
+from repro.faas import FunctionConfig, MessageQueue, QueueTrigger
+from repro.core import CloudSim
+
+
+def deploy_echo(sim, name="echo", delay=0.01):
+    handled = []
+
+    def handler(context, payload):
+        yield context.env.timeout(delay)
+        handled.append(payload)
+        return payload
+
+    sim.platform.deploy(FunctionConfig(
+        name=name, handler=handler, memory_bytes=128 * units.MiB))
+    return handled
+
+
+class TestMessageQueue:
+    def test_send_and_depth(self):
+        sim = CloudSim(seed=0)
+        queue = MessageQueue(sim.env)
+        queue.send("a")
+        queue.send("b")
+        assert queue.depth == 2
+        assert queue.sent == 2
+
+
+class TestQueueTrigger:
+    def run_scenario(self, messages, delay=0.01, concurrency=10,
+                     horizon=10.0):
+        sim = CloudSim(seed=1)
+        handled = deploy_echo(sim, delay=delay)
+        queue = MessageQueue(sim.env)
+        trigger = QueueTrigger(sim.env, sim.platform, queue, "echo",
+                               concurrency=concurrency)
+
+        def producer(env):
+            for message in messages:
+                queue.send(message)
+                yield env.timeout(0.005)
+
+        sim.env.process(producer(sim.env))
+        sim.env.run(until=horizon)
+        trigger.stop()
+        return handled, trigger, queue
+
+    def test_every_message_invokes_the_function(self):
+        messages = [f"m{i}" for i in range(25)]
+        handled, trigger, queue = self.run_scenario(messages)
+        assert sorted(handled) == sorted(messages)
+        assert trigger.stats.invoked == 25
+        assert trigger.stats.failed == 0
+        assert queue.depth == 0
+
+    def test_delivery_latency_includes_polling_overhead(self):
+        handled, trigger, __ = self.run_scenario(["only"])
+        latency = trigger.stats.delivery_latencies[0]
+        # Polling adds at least the async-poll delay on top of startup.
+        assert latency > 0.02
+
+    def test_concurrency_limit_paces_delivery(self):
+        messages = [f"m{i}" for i in range(20)]
+        __, slow_trigger, __ = self.run_scenario(messages, delay=0.5,
+                                                 concurrency=2,
+                                                 horizon=30.0)
+        __, fast_trigger, __ = self.run_scenario(messages, delay=0.5,
+                                                 concurrency=20,
+                                                 horizon=30.0)
+        assert slow_trigger.stats.invoked == 20
+        assert fast_trigger.stats.invoked == 20
+        # The concurrency-2 trigger delivers far later on average.
+        assert max(slow_trigger.stats.delivery_latencies) > \
+            2 * max(fast_trigger.stats.delivery_latencies)
+
+    def test_handler_failures_counted(self):
+        sim = CloudSim(seed=2)
+
+        def failing(context, payload):
+            yield context.env.timeout(0.001)
+            raise RuntimeError("bad event")
+
+        sim.platform.deploy(FunctionConfig(
+            name="bad", handler=failing, memory_bytes=128 * units.MiB))
+        queue = MessageQueue(sim.env)
+        trigger = QueueTrigger(sim.env, sim.platform, queue, "bad")
+        queue.send("x")
+        sim.env.run(until=5.0)
+        trigger.stop()
+        assert trigger.stats.failed == 1
+        assert trigger.stats.invoked == 0
+
+    def test_parameter_validation(self):
+        sim = CloudSim(seed=0)
+        queue = MessageQueue(sim.env)
+        with pytest.raises(ValueError):
+            QueueTrigger(sim.env, sim.platform, queue, "echo", batch_size=0)

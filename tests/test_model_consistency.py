@@ -1,0 +1,107 @@
+"""Cross-model consistency: discrete vs fluid storage admission.
+
+The simulators expose two request paths — per-request (used by the query
+engine) and aggregate-rate (used by the IOPS experiments). These tests
+guard against the two models drifting apart: the same offered load must
+see the same sustained admission on both paths.
+"""
+
+import pytest
+
+from repro.core import CloudSim
+from repro.network import Fabric
+from repro.sim import Environment, RandomStreams
+from repro.storage import DynamoDB, S3Express, S3Standard
+from repro.storage.base import RequestType
+from repro.storage.errors import StorageError
+
+
+def discrete_sustained_rate(service, offered_per_s: float,
+                            duration_s: float = 4.0,
+                            tick: float = 0.01) -> float:
+    """Admit `offered_per_s` requests/s one by one; return the accepted
+    rate over the second half of the window (post-burst)."""
+    accepted_late = 0
+    now = 0.0
+    carry = 0.0
+    while now < duration_s:
+        carry += offered_per_s * tick
+        while carry >= 1.0:
+            carry -= 1.0
+            try:
+                service._admit_one(RequestType.GET, f"k{now}")
+                if now >= duration_s / 2:
+                    accepted_late += 1
+            except StorageError:
+                pass
+        # Advance the service clock so token buckets refill.
+        service.env._now = now  # direct clock control for the unit test
+        now += tick
+    return accepted_late / (duration_s / 2)
+
+
+@pytest.mark.parametrize("service_cls,offered,expected", [
+    (S3Standard, 20_000.0, 5_500.0),
+    (DynamoDB, 50_000.0, 16_000.0),
+    (S3Express, 400_000.0, 220_000.0),
+])
+def test_discrete_and_fluid_paths_agree(service_cls, offered, expected):
+    env = Environment()
+    fabric = Fabric(env)
+    rng = RandomStreams(seed=0)
+
+    fluid_service = service_cls(env, fabric, rng)
+    fluid = fluid_service.offer_load(offered, 0.0, elapsed=60.0, now=0.0)
+    assert fluid.accepted_read == pytest.approx(expected, rel=0.01)
+
+    discrete_env = Environment()
+    discrete_service = service_cls(discrete_env, Fabric(discrete_env),
+                                   RandomStreams(seed=0))
+    # Measure the post-burst steady state: DynamoDB's five-minute burst
+    # bucket legitimately admits everything for a while, which the fluid
+    # path folds into its calibrated sustained quota.
+    if hasattr(discrete_service, "_read_tokens"):
+        discrete_service._read_tokens = min(
+            discrete_service._read_tokens, expected)
+    sustained = discrete_sustained_rate(discrete_service, offered)
+    # Discrete token buckets admit the same sustained rate (within the
+    # quantization of whole requests).
+    assert sustained == pytest.approx(expected, rel=0.05)
+
+
+def test_underload_admits_everything_on_both_paths():
+    env = Environment()
+    fabric = Fabric(env)
+    rng = RandomStreams(seed=0)
+    s3 = S3Standard(env, fabric, rng)
+    fluid = s3.offer_load(2_000.0, 0.0, elapsed=10.0, now=0.0)
+    assert fluid.rejected_read == 0.0
+
+    discrete_env = Environment()
+    s3_discrete = S3Standard(discrete_env, Fabric(discrete_env),
+                             RandomStreams(seed=0))
+    sustained = discrete_sustained_rate(s3_discrete, 2_000.0)
+    assert sustained == pytest.approx(2_000.0, rel=0.05)
+
+
+def test_engine_query_costs_match_between_runs():
+    """Determinism: the same seed yields the same query cost and request
+    count across independent executions."""
+    from repro.datagen import load_table, scaled_spec
+    from repro.engine import SkyriseEngine
+    from repro.engine.queries import tpch_q6
+
+    def run_once():
+        sim = CloudSim(seed=77)
+        s3 = sim.s3()
+        metadata = sim.run(load_table(
+            sim.env, s3, scaled_spec("lineitem", 4, rows_per_partition=64)))
+        engine = SkyriseEngine(sim.env, sim.platform,
+                               storage={"s3-standard": s3})
+        engine.register_table(metadata)
+        engine.deploy()
+        result = sim.run(engine.run_query(tpch_q6(scan_fragments=4)))
+        return (result.runtime, result.cost_cents, result.requests,
+                float(result.batch.column("revenue")[0]))
+
+    assert run_once() == run_once()

@@ -1,0 +1,166 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.engine.shuffle import _hash_partition
+from repro.formats.batch import RecordBatch
+from repro.formats.schema import DataType, Field, Schema
+from repro.network import Fabric
+from repro.network.shaper import TokenBucketShaper
+from repro.pricing import STORAGE_PRICES
+from repro.pricing.breakeven import (
+    CapacityTier,
+    break_even_interval_capacity,
+    break_even_interval_requests,
+)
+from repro.sim import Environment
+from repro.storage.latency import LatencyModel
+
+
+class TestFabricConservation:
+    @given(sizes=st.lists(st.floats(min_value=1.0, max_value=1e4),
+                          min_size=1, max_size=10),
+           capacity=st.floats(min_value=10.0, max_value=1e4))
+    @settings(max_examples=40, deadline=None)
+    def test_link_never_exceeded_and_all_bytes_delivered(self, sizes,
+                                                         capacity):
+        """Flows through a shared link finish with exact byte counts and
+        never before total_bytes / capacity."""
+        env = Environment()
+        fabric = Fabric(env)
+        link = fabric.link(capacity=capacity)
+        flows = [fabric.transfer(fabric.endpoint(f"s{i}"),
+                                 fabric.endpoint(f"d{i}"),
+                                 size=size, links=(link,))
+                 for i, size in enumerate(sizes)]
+        env.run()
+        total = sum(sizes)
+        for flow, size in zip(flows, sizes):
+            assert flow.transferred == pytest.approx(size, rel=1e-6)
+            assert flow.finished_at is not None
+        makespan = max(flow.finished_at for flow in flows)
+        # The link cannot move bytes faster than its capacity.
+        assert makespan >= total / capacity * (1 - 1e-9)
+
+    @given(capacity=st.floats(min_value=10.0, max_value=1e5),
+           burst=st.floats(min_value=10.0, max_value=1e4),
+           refill=st.floats(min_value=0.1, max_value=100.0),
+           horizon=st.floats(min_value=0.5, max_value=20.0))
+    @settings(max_examples=40, deadline=None)
+    def test_shaped_flow_never_exceeds_token_budget(self, capacity, burst,
+                                                    refill, horizon):
+        """Transferred bytes never exceed initial tokens + refill."""
+        env = Environment()
+        fabric = Fabric(env)
+        shaper = TokenBucketShaper(capacity=capacity, burst_rate=burst,
+                                   refill_rate=refill, mode="continuous",
+                                   initial_level=capacity)
+        dst = fabric.endpoint("fn", ingress=shaper)
+        flow = fabric.open_flow(fabric.endpoint("src"), dst)
+        env.run(until=horizon)
+        fabric.sync_now()
+        budget = capacity + refill * horizon
+        assert flow.transferred <= budget * (1 + 1e-6)
+
+
+class TestShufflePartitioning:
+    @given(keys=st.lists(st.integers(min_value=-10**9, max_value=10**9),
+                         min_size=1, max_size=300),
+           partitions=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=50, deadline=None)
+    def test_partitioning_is_total_stable_and_consistent(self, keys,
+                                                         partitions):
+        array = np.array(keys, dtype=np.int64)
+        first = _hash_partition(array, partitions)
+        second = _hash_partition(array, partitions)
+        np.testing.assert_array_equal(first, second)
+        assert ((first >= 0) & (first < partitions)).all()
+        # Equal keys always colocate.
+        by_key = {}
+        for key, partition in zip(keys, first):
+            if key in by_key:
+                assert by_key[key] == partition
+            by_key[key] = partition
+
+
+class TestLatencyModelProperties:
+    @given(median=st.floats(min_value=1e-4, max_value=1.0),
+           spread=st.floats(min_value=1.0, max_value=10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_sampled_median_matches_parameter(self, median, spread):
+        model = LatencyModel(median=median, p95=median * spread,
+                             ceiling=1e6)
+        rng = np.random.default_rng(0)
+        samples = model.sample(rng, size=20_000)
+        assert np.median(samples) == pytest.approx(median, rel=0.1)
+        assert (samples > 0).all()
+
+    @given(median=st.floats(min_value=1e-3, max_value=0.1))
+    @settings(max_examples=20, deadline=None)
+    def test_ceiling_respected(self, median):
+        model = LatencyModel(median=median, p95=median * 3,
+                             tail_probability=0.05, tail_alpha=1.01,
+                             ceiling=median * 10)
+        rng = np.random.default_rng(1)
+        samples = model.sample(rng, size=5_000)
+        assert samples.max() <= median * 10 + 1e-12
+
+
+class TestBreakEvenProperties:
+    @given(size=st.floats(min_value=1024, max_value=64 * 1024**2))
+    @settings(max_examples=30, deadline=None)
+    def test_capacity_bei_decreases_with_access_size(self, size):
+        """Larger accesses never lengthen the capacity-priced interval."""
+        tier = CapacityTier(name="d", rent_per_hour=0.2, iops=100_000,
+                            bandwidth=2 * units.GiB)
+        small = break_even_interval_capacity(size, tier, 1e-6)
+        larger = break_even_interval_capacity(size * 2, tier, 1e-6)
+        assert larger <= small * (1 + 1e-9)
+
+    @given(size=st.floats(min_value=1024, max_value=64 * 1024**2),
+           ram=st.floats(min_value=1e-9, max_value=1e-3))
+    @settings(max_examples=30, deadline=None)
+    def test_request_bei_positive_and_scales_with_ram_price(self, size, ram):
+        bei = break_even_interval_requests(
+            size, STORAGE_PRICES["s3-standard"], ram)
+        cheaper_ram = break_even_interval_requests(
+            size, STORAGE_PRICES["s3-standard"], ram / 2)
+        assert bei > 0
+        # Cheaper RAM keeps pages cached longer: interval grows.
+        assert cheaper_ram == pytest.approx(2 * bei, rel=1e-9)
+
+
+class TestBatchInvariants:
+    @given(n=st.integers(min_value=0, max_value=200),
+           take_seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_take_preserves_row_content(self, n, take_seed):
+        rng = np.random.default_rng(take_seed)
+        batch = RecordBatch(
+            Schema([Field("a", DataType.INT64)]),
+            {"a": np.arange(n, dtype=np.int64)})
+        mask = rng.random(n) < 0.5
+        subset = batch.take(mask)
+        np.testing.assert_array_equal(subset.column("a"),
+                                      np.arange(n)[mask])
+        assert subset.logical_bytes <= batch.logical_bytes + 1e-9
+
+    @given(pieces=st.lists(st.integers(min_value=0, max_value=50),
+                           min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_concat_preserves_order_and_counts(self, pieces):
+        schema = Schema([Field("a", DataType.INT64)])
+        batches = []
+        offset = 0
+        for count in pieces:
+            batches.append(RecordBatch(
+                schema,
+                {"a": np.arange(offset, offset + count, dtype=np.int64)}))
+            offset += count
+        merged = RecordBatch.concat(batches)
+        np.testing.assert_array_equal(merged.column("a"),
+                                      np.arange(offset))

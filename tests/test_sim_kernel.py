@@ -1,0 +1,317 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5.0)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 5.0
+    assert env.now == 5.0
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+
+    def proc(env):
+        got = yield env.timeout(1.0, value="payload")
+        return got
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == "payload"
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_sequential_timeouts_accumulate():
+    env = Environment()
+    trace = []
+
+    def proc(env):
+        for delay in (1.0, 2.0, 3.0):
+            yield env.timeout(delay)
+            trace.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert trace == [1.0, 3.0, 6.0]
+
+
+def test_two_processes_interleave():
+    env = Environment()
+    trace = []
+
+    def ticker(env, name, period):
+        for _ in range(3):
+            yield env.timeout(period)
+            trace.append((name, env.now))
+
+    env.process(ticker(env, "a", 1.0))
+    env.process(ticker(env, "b", 1.5))
+    env.run()
+    # At t=3.0 both tick; "b" scheduled its timeout earlier (at t=1.5),
+    # so FIFO tie-breaking runs it first.
+    assert trace == [
+        ("a", 1.0), ("b", 1.5), ("a", 2.0), ("b", 3.0), ("a", 3.0), ("b", 4.5),
+    ]
+
+
+def test_run_until_time_stops_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(100.0)
+
+    env.process(proc(env))
+    env.run(until=10.0)
+    assert env.now == 10.0
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.0)
+        return 42
+
+    p = env.process(proc(env))
+    result = env.run(until=p)
+    assert result == 42
+    assert env.now == 2.0
+
+
+def test_run_until_past_time_rejected():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(ValueError):
+        env.run(until=5.0)
+
+
+def test_wait_on_process_event():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(3.0)
+        return "done"
+
+    def parent(env):
+        value = yield env.process(child(env))
+        return (value, env.now)
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == ("done", 3.0)
+
+
+def test_uncaught_exception_propagates_from_run():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("boom")
+
+    env.process(bad(env))
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run()
+
+
+def test_waiting_process_receives_failure():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise ValueError("inner")
+
+    def parent(env):
+        try:
+            yield env.process(bad(env))
+        except ValueError as exc:
+            return str(exc)
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == "inner"
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            return (interrupt.cause, env.now)
+
+    def interrupter(env, victim):
+        yield env.timeout(5.0)
+        victim.interrupt(cause="wakeup")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert victim.value == ("wakeup", 5.0)
+
+
+def test_interrupt_dead_process_rejected():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run()
+
+
+def test_event_succeed_once_only():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="one")
+        t2 = env.timeout(4.0, value="four")
+        values = yield AllOf(env, [t1, t2])
+        return (sorted(values.values()), env.now)
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (["four", "one"], 4.0)
+
+
+def test_any_of_triggers_on_first():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(10.0, value="slow")
+        values = yield AnyOf(env, [t1, t2])
+        return (list(values.values()), env.now)
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (["fast"], 1.0)
+
+
+def test_all_of_empty_triggers_immediately():
+    env = Environment()
+
+    def proc(env):
+        yield AllOf(env, [])
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 0.0
+
+
+def test_deterministic_tie_breaking_is_fifo():
+    env = Environment()
+    order = []
+
+    def proc(env, name):
+        yield env.timeout(1.0)
+        order.append(name)
+
+    for name in ("first", "second", "third"):
+        env.process(proc(env, name))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7.0)
+    assert env.peek() == 7.0
+    env.run()
+    assert env.peek() == float("inf")
+
+
+def test_condition_absorbs_late_concurrent_failures():
+    """A second process failing after AnyOf/AllOf already triggered must
+    not crash the simulation (its failure is absorbed by the condition)."""
+    env = Environment()
+
+    def fail_at(env, t, message):
+        yield env.timeout(t)
+        raise RuntimeError(message)
+
+    def parent(env):
+        first = env.process(fail_at(env, 1.0, "first"))
+        second = env.process(fail_at(env, 2.0, "second"))
+        try:
+            yield AllOf(env, [first, second])
+        except RuntimeError as exc:
+            caught = str(exc)
+        # Let the second failure land while nobody is waiting on it.
+        yield env.timeout(5.0)
+        return caught
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == "first"
+
+
+def test_any_of_with_failure_fails_fast():
+    env = Environment()
+
+    def ok(env):
+        yield env.timeout(10.0)
+        return "late"
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise ValueError("early failure")
+
+    def parent(env):
+        try:
+            yield AnyOf(env, [env.process(ok(env)), env.process(bad(env))])
+        except ValueError as exc:
+            return (str(exc), env.now)
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == ("early failure", 1.0)
