@@ -9,7 +9,6 @@ multiply the bill for no throughput gain (the worker's token bucket, not
 per-request bandwidth, is the bottleneck).
 """
 
-import pytest
 
 from conftest import save_artifact
 from repro import units

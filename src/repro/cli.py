@@ -7,6 +7,7 @@ JSON results come out, and the plotter renders what it can. Usage::
     python -m repro run fig5-function-burst   # run one by name
     python -m repro run path/to/config.json   # or from a JSON file
     python -m repro suite network             # run a whole suite
+    python -m repro serve --policy fair       # multi-tenant serving run
 """
 
 from __future__ import annotations
@@ -35,6 +36,33 @@ SUITES = {
 
 def _predefined() -> dict[str, ExperimentConfig]:
     return {config.name: config for config in full_evaluation()}
+
+
+def _run_serve(args) -> int:
+    """Run a multi-tenant serving mix and print the per-tenant report."""
+    from repro.serve import default_tenant_mix, run_serving_workload
+    from repro.serve.scheduler import POLICIES
+
+    policies = [args.policy]
+    if args.compare_fifo and args.policy != "fifo":
+        policies.insert(0, "fifo")
+    assert all(policy in POLICIES for policy in policies)
+    try:
+        mix = default_tenant_mix(rate_scale=args.rate_scale)
+        warm_targets = ({"skyrise-worker": args.warm_pool,
+                         "skyrise-coordinator": 1}
+                        if args.warm_pool else None)
+        for policy in policies:
+            outcome = run_serving_workload(
+                mix, policy=policy, window_s=args.window, seed=args.seed,
+                max_concurrent_queries=args.max_queries,
+                warm_targets=warm_targets)
+            print(outcome.format_report())
+            print()
+    except ValueError as exc:
+        print(f"repro serve: error: {exc}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def _run_configs(configs, output_dir: Path, plot: bool) -> int:
@@ -69,7 +97,27 @@ def main(argv: list[str] | None = None) -> int:
                      help="predefined name or path to a config JSON")
     suite = commands.add_parser("suite", help="run a predefined suite")
     suite.add_argument("suite", choices=sorted(SUITES))
+    serve = commands.add_parser(
+        "serve", help="serve a multi-tenant Poisson query mix")
+    serve.add_argument("--policy", default="fair",
+                       choices=("fifo", "priority", "fair"),
+                       help="scheduling policy (default: fair)")
+    serve.add_argument("--window", type=float, default=600.0,
+                       help="serving window in simulated seconds")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="RNG seed (fixed seed -> identical metrics)")
+    serve.add_argument("--rate-scale", type=float, default=1.0,
+                       help="multiply every tenant's arrival rate")
+    serve.add_argument("--max-queries", type=int, default=None,
+                       help="override the concurrency governor's query cap")
+    serve.add_argument("--warm-pool", type=int, default=0, metavar="N",
+                       help="keep N worker sandboxes warm via pings")
+    serve.add_argument("--compare-fifo", action="store_true",
+                       help="also run FIFO on the same trace for contrast")
     args = parser.parse_args(argv)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     output_dir = Path(args.output)
     if args.command == "list":

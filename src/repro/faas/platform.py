@@ -50,6 +50,10 @@ IDLE_LIFETIME_SIGMA = 0.5
 #: Re-check interval while waiting for concurrency to scale up.
 ADMISSION_RETRY_S = 1.0
 
+#: Handler time billed by a keep-alive ping (a no-op invocation that
+#: only refreshes the sandbox's idle timer).
+KEEPALIVE_PING_S = 0.010
+
 
 class LambdaPlatform:
     """Simulated AWS Lambda in one region."""
@@ -156,6 +160,61 @@ class LambdaPlatform:
                 finished_at=self.env.now, response=response, error=error)
             self.records.append(record)
             return record
+        finally:
+            sandbox.busy = False
+            sandbox.last_used_at = self.env.now
+            sandbox.invocations += 1
+            self._warm[name].append(sandbox)
+            self._busy -= 1
+
+    # -- warm pools ----------------------------------------------------------
+
+    def keep_alive(self, name: str, count: int = 1):
+        """Process: ping up to ``count`` sandboxes of ``name`` to stay warm.
+
+        The standard provisioning trick on Lambda: periodic no-op
+        invocations reset the idle-reclamation timer, so later real
+        invocations warmstart instead of paying the coldstart path.
+        Each ping is billed like a (very short) invocation; a ping that
+        finds no idle sandbox *creates* one — paying the coldstart now,
+        off the latency path of real traffic. Pings are skipped (not
+        queued) when the account has no concurrency headroom, so a warm
+        pool never throttles live queries.
+
+        Returns ``{"hits": refreshed, "misses": created, "skipped": n}``.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        stats = {"hits": 0, "misses": 0, "skipped": 0}
+        pings = []
+        for _ in range(count):
+            if not self.scaler.admit(self._busy, self.env.now):
+                stats["skipped"] += 1
+                continue
+            self._busy += 1
+            sandbox, cold = self._assign(self.function(name))
+            sandbox.busy = True
+            stats["misses" if cold else "hits"] += 1
+            pings.append(self.env.process(
+                self._ping(name, sandbox, cold), name=f"ping-{name}"))
+        for ping in pings:
+            yield ping
+        return stats
+
+    def _ping(self, name: str, sandbox: Sandbox, cold: bool):
+        config = self.function(name)
+        requested_at = self.env.now
+        try:
+            if cold:
+                yield self.env.timeout(self._coldstart_duration(config))
+            else:
+                yield self.env.timeout(WARMSTART_S)
+            started_at = self.env.now
+            yield self.env.timeout(KEEPALIVE_PING_S)
+            self.records.append(InvocationRecord(
+                function=name, sandbox_id=sandbox.id, cold=cold,
+                requested_at=requested_at, started_at=started_at,
+                finished_at=self.env.now, response="keep-alive"))
         finally:
             sandbox.busy = False
             sandbox.last_used_at = self.env.now

@@ -1,0 +1,68 @@
+"""Multi-tenant query serving layer (toward the ROADMAP north star).
+
+The paper evaluates Skyrise one query at a time; its economic analysis
+(Section 5.2) only bites under sustained multi-query traffic, where
+concurrent queries contend for the account-level Lambda concurrency
+quota. This package adds the missing serving tier between workload
+generators and :class:`~repro.engine.SkyriseEngine`:
+
+* :mod:`repro.serve.gateway` — multi-tenant submission with per-tenant
+  concurrency quotas and admission control (queue or shed);
+* :mod:`repro.serve.scheduler` — a simulated scheduler process with
+  pluggable dispatch policies (FIFO, priority classes, weighted fair
+  share) and a global concurrency governor that respects the account
+  quota modeled in :mod:`repro.faas.platform`;
+* :mod:`repro.serve.warm_pool` — keep-alive pings that hold sandboxes
+  hot between arrivals, trading ping cost against coldstart latency;
+* :mod:`repro.serve.metrics` — per-tenant queue wait, latency
+  percentiles, SLO attainment, shed rate, and dollar cost;
+* :mod:`repro.serve.service` — end-to-end serving runs of Poisson
+  tenant mixes over the simulated platform.
+"""
+
+from repro.serve.gateway import QueryGateway, QueryRequest, Tenant
+from repro.serve.metrics import (
+    CompletedQuery,
+    ServingMetrics,
+    TenantReport,
+    cost_per_query,
+)
+from repro.serve.scheduler import (
+    POLICIES,
+    ConcurrencyGovernor,
+    FairSharePolicy,
+    FifoPolicy,
+    PriorityPolicy,
+    QueryScheduler,
+    make_policy,
+)
+from repro.serve.service import (
+    ServingOutcome,
+    TenantWorkload,
+    default_tenant_mix,
+    run_serving_workload,
+)
+from repro.serve.warm_pool import WarmPoolManager, WarmPoolStats
+
+__all__ = [
+    "POLICIES",
+    "CompletedQuery",
+    "ConcurrencyGovernor",
+    "FairSharePolicy",
+    "FifoPolicy",
+    "PriorityPolicy",
+    "QueryGateway",
+    "QueryRequest",
+    "QueryScheduler",
+    "ServingMetrics",
+    "ServingOutcome",
+    "Tenant",
+    "TenantReport",
+    "TenantWorkload",
+    "WarmPoolManager",
+    "WarmPoolStats",
+    "cost_per_query",
+    "default_tenant_mix",
+    "make_policy",
+    "run_serving_workload",
+]

@@ -1,0 +1,140 @@
+"""Multi-tenant query gateway: submission, quotas, admission control.
+
+The gateway is the front door of the serving layer. Tenants register
+with a priority class, a fair-share weight, a per-tenant concurrency
+quota, and an SLO; submissions are admitted into a per-tenant queue or
+shed when the tenant (or the gateway as a whole) is over its backlog
+bound. The scheduler drains the queues; the gateway never runs queries
+itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.serve.metrics import ServingMetrics
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One traffic source with its serving contract.
+
+    ``priority`` orders priority-class scheduling (lower is more
+    urgent); ``weight`` sets the tenant's share under weighted fair
+    scheduling; ``max_concurrent`` caps the tenant's in-flight queries
+    (its concurrency quota); ``max_queue_depth`` bounds its backlog —
+    submissions beyond it are shed at admission.
+    """
+
+    name: str
+    priority: int = 1
+    weight: float = 1.0
+    max_concurrent: int = 4
+    max_queue_depth: float = math.inf
+    slo_latency_s: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+        if self.max_concurrent <= 0:
+            raise ValueError("max_concurrent must be positive")
+        if self.max_queue_depth <= 0:
+            raise ValueError("max_queue_depth must be positive")
+
+
+@dataclass
+class QueryRequest:
+    """One admitted query waiting for (or holding) an execution slot."""
+
+    tenant: str
+    plan: Any
+    submitted_at: float
+    seq: int
+    priority: int
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def fifo_key(self) -> tuple[float, int]:
+        """Global arrival order (ties broken by submission sequence)."""
+        return (self.submitted_at, self.seq)
+
+
+class QueryGateway:
+    """Accepts tenant submissions; queues or sheds them.
+
+    Admission control is two-level: a submission is shed when its
+    tenant's queue is at ``max_queue_depth``, or when the gateway-wide
+    backlog has reached ``max_pending`` (overload protection for the
+    account as a whole). Admitted requests wait in per-tenant FIFO
+    queues until a scheduler pops them.
+    """
+
+    def __init__(self, env, metrics: Optional[ServingMetrics] = None,
+                 max_pending: float = math.inf) -> None:
+        self.env = env
+        self.metrics = metrics if metrics is not None else ServingMetrics()
+        self.max_pending = max_pending
+        self.tenants: dict[str, Tenant] = {}
+        self.queues: dict[str, deque[QueryRequest]] = {}
+        self._seq = itertools.count()
+        #: Scheduler hook, called after every successful admission.
+        self.on_submit: Optional[Callable[[], None]] = None
+
+    # -- tenancy -----------------------------------------------------------
+
+    def register(self, tenant: Tenant) -> Tenant:
+        """Register a tenant (idempotent for the same name)."""
+        self.tenants[tenant.name] = tenant
+        self.queues.setdefault(tenant.name, deque())
+        return tenant
+
+    def tenant(self, name: str) -> Tenant:
+        """Look up a registered tenant."""
+        try:
+            return self.tenants[name]
+        except KeyError:
+            raise KeyError(f"tenant {name!r} is not registered") from None
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, tenant_name: str, plan: Any) -> Optional[QueryRequest]:
+        """Offer one query; returns the queued request, or ``None`` if shed."""
+        tenant = self.tenant(tenant_name)
+        self.metrics.record_offered(tenant_name)
+        queue = self.queues[tenant_name]
+        if (len(queue) >= tenant.max_queue_depth
+                or self.total_pending >= self.max_pending):
+            self.metrics.record_shed(tenant_name, self.env.now)
+            return None
+        request = QueryRequest(
+            tenant=tenant_name, plan=plan, submitted_at=self.env.now,
+            seq=next(self._seq), priority=tenant.priority)
+        queue.append(request)
+        if self.on_submit is not None:
+            self.on_submit()
+        return request
+
+    # -- queue access (scheduler side) -------------------------------------
+
+    def pending(self, tenant_name: str) -> int:
+        """Backlog depth of one tenant."""
+        return len(self.queues[tenant_name])
+
+    @property
+    def total_pending(self) -> int:
+        """Backlog across all tenants."""
+        return sum(len(queue) for queue in self.queues.values())
+
+    def head(self, tenant_name: str) -> Optional[QueryRequest]:
+        """Oldest queued request of a tenant, without removing it."""
+        queue = self.queues[tenant_name]
+        return queue[0] if queue else None
+
+    def pop(self, tenant_name: str) -> QueryRequest:
+        """Remove and return the oldest queued request of a tenant."""
+        return self.queues[tenant_name].popleft()

@@ -11,9 +11,9 @@ comparison runs.
 from repro.workloads.arrivals import (
     ArrivalOutcome,
     cost_crossover,
-    poisson_arrivals,
     run_arrival_workload,
 )
+from repro.workloads.traffic import burst_arrivals, poisson_arrivals
 from repro.workloads.suite import (
     SuiteSetup,
     run_query_experiment,
@@ -26,6 +26,7 @@ from repro.workloads.suite import (
 __all__ = [
     "ArrivalOutcome",
     "SuiteSetup",
+    "burst_arrivals",
     "cost_crossover",
     "poisson_arrivals",
     "run_arrival_workload",

@@ -6,6 +6,12 @@ cost). This module validates it dynamically: a Poisson arrival process
 submits queries over a simulated window; the FaaS deployment pays per
 invocation while the IaaS deployment pays for the provisioned cluster's
 uptime — the measured cost curves cross where the formula predicts.
+
+Arrivals flow through the serving layer (:mod:`repro.serve`): a
+single-tenant gateway with an unbounded queue and an ungoverned FIFO
+scheduler, so the crossover benchmark exercises the same submission
+path as multi-tenant serving while reproducing the original
+all-arrivals-run-concurrently behaviour.
 """
 
 from __future__ import annotations
@@ -14,12 +20,21 @@ import math
 from dataclasses import dataclass, field
 
 from repro.core.context import CloudSim
-from repro.engine import SkyriseEngine
 from repro.engine.plan import PhysicalPlan
-from repro.iaas import VmShim
 from repro.pricing import ec2_instance
 from repro.pricing.calculator import CostCalculator
+from repro.serve.gateway import QueryGateway, Tenant
+from repro.serve.metrics import ServingMetrics, cost_per_query
+from repro.serve.scheduler import (
+    ConcurrencyGovernor,
+    FifoPolicy,
+    QueryScheduler,
+)
 from repro.workloads.suite import SuiteSetup, setup_engine
+from repro.workloads.traffic import poisson_arrivals  # noqa: F401 - re-export
+
+#: Tenant name used for the single-stream arrival workloads.
+ARRIVAL_TENANT = "arrivals"
 
 
 @dataclass
@@ -31,35 +46,26 @@ class ArrivalOutcome:
     window_s: float
     queries_run: int
     compute_cost_usd: float
+    #: Queries the arrival process offered (>= queries_run when shed).
+    queries_offered: int = 0
     runtimes: list[float] = field(default_factory=list)
 
     @property
     def cost_per_query(self) -> float:
-        """Average compute dollars per executed query."""
-        if not self.queries_run:
-            return float("inf")
-        return self.compute_cost_usd / self.queries_run
+        """Average compute dollars per executed query.
+
+        0.0 when the window saw no traffic at all; ``inf`` when traffic
+        was offered but nothing ran (e.g. everything was shed) — two
+        regimes the overload accounting must keep apart.
+        """
+        return cost_per_query(self.compute_cost_usd, self.queries_run,
+                              max(self.queries_offered, self.queries_run))
 
     @property
     def median_runtime(self) -> float:
         """Median query latency over the window."""
         ordered = sorted(self.runtimes)
         return ordered[len(ordered) // 2] if ordered else 0.0
-
-
-def poisson_arrivals(rng, rate_per_hour: float, window_s: float
-                     ) -> list[float]:
-    """Arrival offsets (seconds) of a Poisson process over the window."""
-    if rate_per_hour <= 0:
-        raise ValueError("rate must be positive")
-    times = []
-    now = 0.0
-    rate_per_s = rate_per_hour / 3_600.0
-    while True:
-        now += rng.exponential(1.0 / rate_per_s)
-        if now >= window_s:
-            return times
-        times.append(now)
 
 
 def run_arrival_workload(backend: str, plan: PhysicalPlan,
@@ -81,22 +87,28 @@ def run_arrival_workload(backend: str, plan: PhysicalPlan,
     engine = setup_engine(sim, setup, backend=backend, vm_count=vm_count)
     arrival_rng = sim.rng.stream("arrivals")
     arrivals = poisson_arrivals(arrival_rng, queries_per_hour, window_s)
-    outcome = ArrivalOutcome(backend=backend,
-                             queries_per_hour=queries_per_hour,
-                             window_s=window_s, queries_run=0,
-                             compute_cost_usd=0.0)
 
-    def query_at(env, offset: float):
+    # Single tenant, unbounded queue, ungoverned scheduler: every
+    # arrival dispatches the instant it is submitted, exactly like the
+    # pre-serving-layer private loop.
+    metrics = ServingMetrics()
+    gateway = QueryGateway(sim.env, metrics)
+    gateway.register(Tenant(name=ARRIVAL_TENANT,
+                            max_concurrent=max(len(arrivals), 1)))
+    scheduler = QueryScheduler(sim.env, engine, gateway, FifoPolicy(),
+                               ConcurrencyGovernor(), metrics)
+
+    def submit_at(env, offset: float):
         yield env.timeout(offset)
-        result = yield from engine.run_query(plan)
-        outcome.queries_run += 1
-        outcome.runtimes.append(result.runtime)
+        gateway.submit(ARRIVAL_TENANT, plan)
 
     def scenario(env):
-        processes = [env.process(query_at(env, offset))
-                     for offset in arrivals]
-        for process in processes:
+        scheduler.start()
+        submissions = [env.process(submit_at(env, offset))
+                       for offset in arrivals]
+        for process in submissions:
             yield process
+        yield scheduler.drained()
         # Bill the window even if the last query overran it slightly.
         if env.now < window_s:
             yield env.timeout(window_s - env.now)
@@ -113,8 +125,14 @@ def run_arrival_workload(backend: str, plan: PhysicalPlan,
         instance = ec2_instance("c6g.xlarge")
         hours = max(sim.env.now, window_s) / 3_600.0
         calculator.cost.compute_iaas += vm_count * instance.hourly_usd * hours
-    outcome.compute_cost_usd = calculator.cost.total
-    return outcome
+    return ArrivalOutcome(
+        backend=backend,
+        queries_per_hour=queries_per_hour,
+        window_s=window_s,
+        queries_run=metrics.completed_count(ARRIVAL_TENANT),
+        compute_cost_usd=calculator.cost.total,
+        queries_offered=len(arrivals),
+        runtimes=metrics.runtimes(ARRIVAL_TENANT))
 
 
 def cost_crossover(plan: PhysicalPlan, rates: list[float],

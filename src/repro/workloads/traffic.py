@@ -1,0 +1,34 @@
+"""Arrival-process generators shared by workloads and the serving layer.
+
+Kept free of engine/serving dependencies so both
+:mod:`repro.workloads.arrivals` and :mod:`repro.serve.service` can use
+it without an import cycle.
+"""
+
+from __future__ import annotations
+
+
+def poisson_arrivals(rng, rate_per_hour: float, window_s: float
+                     ) -> list[float]:
+    """Arrival offsets (seconds) of a Poisson process over the window."""
+    if rate_per_hour <= 0:
+        raise ValueError("rate must be positive")
+    times = []
+    now = 0.0
+    rate_per_s = rate_per_hour / 3_600.0
+    while True:
+        now += rng.exponential(1.0 / rate_per_s)
+        if now >= window_s:
+            return times
+        times.append(now)
+
+
+def burst_arrivals(count: int, at: float = 0.0) -> list[float]:
+    """A degenerate trace: ``count`` simultaneous arrivals at ``at``.
+
+    Models the overload spike used to exercise admission control —
+    e.g. a burst several times the account concurrency quota.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return [at] * count

@@ -5,13 +5,10 @@ import json
 import numpy as np
 import pytest
 
-from repro import units
 from repro.cli import main
 from repro.core import CloudSim
 from repro.engine.queries import tpch_q6
-from repro.network import Fabric
 from repro.network.probe import ProbeSample, ProbeSeries
-from repro.sim import Environment, RandomStreams
 from repro.storage.base import FluidAdmission, RequestStats, RequestType, \
     _payload_size
 from repro.workloads import poisson_arrivals, run_arrival_workload

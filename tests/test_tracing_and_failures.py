@@ -1,6 +1,5 @@
 """Tests for query tracing, failure injection, and straggler handling."""
 
-import numpy as np
 import pytest
 
 from repro import units
