@@ -1,0 +1,19 @@
+"""Chaos engineering: deterministic fault injection + resilience reports.
+
+The subsystem has three layers: typed fault plans (:mod:`.faults`,
+:mod:`.plan`), an injector that wires them into the platform and storage
+hooks (:mod:`.injector`), and the resilience report (:mod:`.report`).
+The suite runner lives in :mod:`.runner`; import it directly (it pulls
+in the whole engine stack).
+"""
+
+from repro.chaos.faults import (
+    FAULT_KINDS,
+    FaultSpec,
+    InjectedFault,
+    SandboxLost,
+    WorkerCrash,
+)
+from repro.chaos.injector import FaultInjector
+from repro.chaos.plan import FAULT_PLANS, FaultPlan, get_plan
+from repro.chaos.report import QueryOutcome, ResilienceReport

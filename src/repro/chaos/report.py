@@ -1,0 +1,191 @@
+"""The resilience report: what happened under injection, and what it cost.
+
+Summarizes a chaos run — per-query attempt counts, the fault timeline,
+recovery latency and cost overheads versus a fault-free baseline, and
+goodput. The JSON form is canonical (sorted keys, rounded floats) so the
+determinism contract is byte-exact: same seed + same plan => identical
+``to_json()`` output.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+def _r(value: Optional[float], digits: int = 9) -> Optional[float]:
+    """Round for canonical JSON (None passes through)."""
+    return None if value is None else round(float(value), digits)
+
+
+@dataclass
+class QueryOutcome:
+    """One query execution under injection."""
+
+    query: str
+    run: int
+    ok: bool
+    runtime_s: float = 0.0
+    cost_cents: float = 0.0
+    retry_cost_cents: float = 0.0
+    retries: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    failed_attempts: int = 0
+    error: Optional[str] = None
+    baseline_runtime_s: Optional[float] = None
+    baseline_cost_cents: Optional[float] = None
+
+    @property
+    def recovered(self) -> bool:
+        """Completed, but only after at least one retry or hedge."""
+        return self.ok and (self.retries > 0 or self.hedges > 0)
+
+    @property
+    def recovery_latency_s(self) -> Optional[float]:
+        """Runtime added versus the fault-free baseline."""
+        if not self.ok or self.baseline_runtime_s is None:
+            return None
+        return self.runtime_s - self.baseline_runtime_s
+
+    @property
+    def cost_overhead_cents(self) -> Optional[float]:
+        if not self.ok or self.baseline_cost_cents is None:
+            return None
+        return self.cost_cents - self.baseline_cost_cents
+
+    def to_dict(self) -> dict:
+        return {
+            "query": self.query, "run": self.run, "ok": self.ok,
+            "runtime_s": _r(self.runtime_s),
+            "cost_cents": _r(self.cost_cents),
+            "retry_cost_cents": _r(self.retry_cost_cents),
+            "retries": self.retries, "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "failed_attempts": self.failed_attempts,
+            "recovered": self.recovered,
+            "error": self.error,
+            "baseline_runtime_s": _r(self.baseline_runtime_s),
+            "recovery_latency_s": _r(self.recovery_latency_s),
+            "cost_overhead_cents": _r(self.cost_overhead_cents),
+        }
+
+
+@dataclass
+class ResilienceReport:
+    """Everything measured over one chaos suite run."""
+
+    plan: dict
+    seed: int
+    outcomes: list[QueryOutcome] = field(default_factory=list)
+    fault_timeline: list[dict] = field(default_factory=list)
+    fault_counts: dict[str, int] = field(default_factory=dict)
+    dropped_fault_events: int = 0
+
+    # -- aggregates ----------------------------------------------------------
+
+    @property
+    def offered(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for o in self.outcomes if o.ok)
+
+    @property
+    def unrecovered(self) -> int:
+        """Queries that failed despite the recovery layer."""
+        return self.offered - self.completed
+
+    @property
+    def recovered(self) -> int:
+        return sum(1 for o in self.outcomes if o.recovered)
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of offered queries that completed."""
+        return self.completed / self.offered if self.offered else 1.0
+
+    @property
+    def total_retries(self) -> int:
+        return sum(o.retries for o in self.outcomes)
+
+    @property
+    def total_hedges(self) -> int:
+        return sum(o.hedges for o in self.outcomes)
+
+    @property
+    def total_hedge_wins(self) -> int:
+        return sum(o.hedge_wins for o in self.outcomes)
+
+    @property
+    def total_retry_cost_cents(self) -> float:
+        return sum(o.retry_cost_cents for o in self.outcomes)
+
+    @property
+    def total_recovery_latency_s(self) -> float:
+        return sum(o.recovery_latency_s or 0.0 for o in self.outcomes)
+
+    @property
+    def total_cost_overhead_cents(self) -> float:
+        return sum(o.cost_overhead_cents or 0.0 for o in self.outcomes)
+
+    # -- rendering -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "plan": self.plan,
+            "seed": self.seed,
+            "totals": {
+                "offered": self.offered,
+                "completed": self.completed,
+                "unrecovered": self.unrecovered,
+                "recovered": self.recovered,
+                "goodput": _r(self.goodput),
+                "retries": self.total_retries,
+                "hedges": self.total_hedges,
+                "hedge_wins": self.total_hedge_wins,
+                "failed_attempts": sum(o.failed_attempts
+                                       for o in self.outcomes),
+                "retry_cost_cents": _r(self.total_retry_cost_cents),
+                "recovery_latency_s": _r(self.total_recovery_latency_s),
+                "cost_overhead_cents": _r(self.total_cost_overhead_cents),
+                "faults_injected": dict(sorted(self.fault_counts.items())),
+            },
+            "queries": [o.to_dict() for o in self.outcomes],
+            "fault_timeline": self.fault_timeline,
+            "dropped_fault_events": self.dropped_fault_events,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON artifact (byte-stable for a fixed seed+plan)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    def format(self) -> str:
+        """Text rendering for the ``repro chaos`` CLI."""
+        name = self.plan.get("name", "?")
+        lines = [f"Resilience report — plan={name}, seed={self.seed}",
+                 f"{'query':<12} {'run':>3} {'ok':>3} {'runtime':>9} "
+                 f"{'retries':>7} {'hedges':>6} {'wins':>5} "
+                 f"{'+lat [s]':>9} {'+cost [¢]':>10}"]
+        for o in self.outcomes:
+            extra_lat = o.recovery_latency_s
+            extra_cost = o.cost_overhead_cents
+            lines.append(
+                f"{o.query:<12} {o.run:>3} {'y' if o.ok else 'N':>3} "
+                f"{o.runtime_s:>9.3f} {o.retries:>7} {o.hedges:>6} "
+                f"{o.hedge_wins:>5} "
+                f"{extra_lat if extra_lat is not None else float('nan'):>9.3f} "
+                f"{extra_cost if extra_cost is not None else float('nan'):>10.4f}")
+        lines.append(
+            f"goodput {self.goodput * 100:.1f}% "
+            f"({self.completed}/{self.offered} completed, "
+            f"{self.recovered} recovered, {self.unrecovered} unrecovered); "
+            f"{self.total_retries} retries, {self.total_hedges} hedges "
+            f"({self.total_hedge_wins} wins); "
+            f"retry cost {self.total_retry_cost_cents:.4f}¢")
+        counts = ", ".join(f"{k}={v}"
+                           for k, v in sorted(self.fault_counts.items()))
+        lines.append(f"faults injected: {counts or 'none'}")
+        return "\n".join(lines)

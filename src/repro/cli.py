@@ -8,6 +8,7 @@ JSON results come out, and the plotter renders what it can. Usage::
     python -m repro run path/to/config.json   # or from a JSON file
     python -m repro suite network             # run a whole suite
     python -m repro serve --policy fair       # multi-tenant serving run
+    python -m repro chaos --plan demo-outage  # fault-injected suite run
 """
 
 from __future__ import annotations
@@ -65,6 +66,42 @@ def _run_serve(args) -> int:
     return 0
 
 
+def _run_chaos(args) -> int:
+    """Run a fault-injected chaos suite and print the resilience report."""
+    from repro.chaos.runner import run_chaos_suite
+
+    try:
+        if args.smoke:
+            # CI gate: the smoke plan must recover every query, and the
+            # report must be byte-deterministic across two runs.
+            first = run_chaos_suite("smoke", queries=("tpch-q6",),
+                                    repeats=2, seed=args.seed,
+                                    baseline=False)
+            second = run_chaos_suite("smoke", queries=("tpch-q6",),
+                                     repeats=2, seed=args.seed,
+                                     baseline=False)
+            print(first.format())
+            if first.to_json() != second.to_json():
+                print("repro chaos --smoke: FAIL: report is not "
+                      "deterministic across identical runs",
+                      file=sys.stderr)
+                return 1
+            if first.unrecovered:
+                print(f"repro chaos --smoke: FAIL: {first.unrecovered} "
+                      f"unrecovered quer(ies)", file=sys.stderr)
+                return 1
+            print("smoke OK: deterministic report, all queries recovered")
+            return 0
+        queries = tuple(q for q in args.queries.split(",") if q)
+        report = run_chaos_suite(args.plan, queries=queries,
+                                 repeats=args.repeats, seed=args.seed)
+        print(report.to_json() if args.json else report.format())
+    except (KeyError, ValueError) as exc:
+        print(f"repro chaos: error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _run_configs(configs, output_dir: Path, plot: bool) -> int:
     driver = Driver()
     for config in configs:
@@ -114,10 +151,27 @@ def main(argv: list[str] | None = None) -> int:
                        help="keep N worker sandboxes warm via pings")
     serve.add_argument("--compare-fifo", action="store_true",
                        help="also run FIFO on the same trace for contrast")
+    chaos = commands.add_parser(
+        "chaos", help="run a query suite under fault injection")
+    chaos.add_argument("--plan", default="demo-outage",
+                       help="fault plan name (see repro.chaos.FAULT_PLANS)")
+    chaos.add_argument("--queries", default="tpch-q6,tpch-q1",
+                       help="comma-separated query list")
+    chaos.add_argument("--repeats", type=int, default=2,
+                       help="runs per query")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="RNG seed (fixed seed -> identical report)")
+    chaos.add_argument("--json", action="store_true",
+                       help="print the canonical JSON report")
+    chaos.add_argument("--smoke", action="store_true",
+                       help="CI gate: smoke plan, fail on any unrecovered "
+                            "query or nondeterministic report")
     args = parser.parse_args(argv)
 
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "chaos":
+        return _run_chaos(args)
 
     output_dir = Path(args.output)
     if args.command == "list":

@@ -43,6 +43,23 @@ class Barrier:
             self._release.succeed(self.env.now)
         return self._release
 
+    def arrive(self) -> Event:
+        """Overrun-tolerant arrival, for re-executed fragments.
+
+        Identical to :meth:`wait` in the fault-free case. Under task
+        retries or hedging, extra attempts of the same fragment may
+        reach the barrier: a late arrival after release returns the
+        already-triggered event, and the count saturates at ``parties``
+        so a retried attempt can complete the rendezvous its crashed
+        predecessor never joined.
+        """
+        if self._release.triggered:
+            return self._release
+        self._arrived = min(self._arrived + 1, self.parties)
+        if self._arrived == self.parties:
+            self._release.succeed(self.env.now)
+        return self._release
+
 
 class BarrierRegistry:
     """Per-query barrier bookkeeping keyed by (query, pipeline)."""

@@ -63,3 +63,20 @@ class CpuCostModel:
 
 
 DEFAULT_COST_MODEL = CpuCostModel()
+
+
+def classify_attempt(record) -> str:
+    """Attempt class of an invocation record, for recovery accounting.
+
+    ``failed`` — the invocation errored (billed until the failure);
+    ``hedge`` — a speculative duplicate; ``retry`` — a re-execution
+    after a failure; ``primary`` — a first, successful attempt.
+    """
+    if record.error is not None:
+        return "failed"
+    response = record.response
+    if getattr(response, "hedged", False):
+        return "hedge"
+    if getattr(response, "attempt", 0) > 0:
+        return "retry"
+    return "primary"

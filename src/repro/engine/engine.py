@@ -17,11 +17,12 @@ from repro.datagen.datasets import TableMetadata
 from repro.engine.barrier import BarrierRegistry
 from repro.engine.coordinator import (
     CoordinatorRuntime,
+    RecoveryConfig,
     StageReport,
     make_coordinator_handler,
     make_invoker_handler,
 )
-from repro.engine.cost import DEFAULT_COST_MODEL, CpuCostModel
+from repro.engine.cost import DEFAULT_COST_MODEL, CpuCostModel, classify_attempt
 from repro.engine.plan import PhysicalPlan
 from repro.engine.worker import WorkerRuntime, make_worker_handler
 from repro.faas.function import FunctionConfig
@@ -55,6 +56,15 @@ class QueryResult:
     storage_cost_cents: float
     requests: int
     request_sizes: list[float] = field(default_factory=list)
+    #: Recovery accounting (zero everywhere in fault-free runs).
+    retries: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    failed_attempts: int = 0
+    #: Compute cost of non-primary attempts (retries, hedges, failed
+    #: attempts) — included in :attr:`cost_cents`.
+    retry_cost_cents: float = 0.0
+    recovery_events: list[dict] = field(default_factory=list)
 
     @property
     def peak_fragments(self) -> int:
@@ -83,13 +93,15 @@ class SkyriseEngine:
                  storage: dict[str, StorageService],
                  intermediate_service: str = "s3-standard",
                  cost_model: CpuCostModel = DEFAULT_COST_MODEL,
-                 worker_memory: float = WORKER_MEMORY) -> None:
+                 worker_memory: float = WORKER_MEMORY,
+                 recovery: Optional[RecoveryConfig] = None) -> None:
         self.env = env
         self.backend = backend
         self.storage = storage
         self.intermediate_service = intermediate_service
         self.cost_model = cost_model
         self.worker_memory = worker_memory
+        self.recovery = recovery if recovery is not None else RecoveryConfig()
         self.catalog: dict[str, TableMetadata] = {}
         self.barriers = BarrierRegistry(env)
         self._deployed = False
@@ -115,7 +127,8 @@ class SkyriseEngine:
             catalog=self.catalog, backend=self.backend,
             worker_function="skyrise-worker",
             invoker_function="skyrise-invoker",
-            intermediate_service=self.intermediate_service)
+            intermediate_service=self.intermediate_service,
+            recovery=self.recovery)
         if target_worker_input is not None:
             coordinator_runtime.target_worker_input = target_worker_input
         self._coordinator_runtime = coordinator_runtime
@@ -142,6 +155,14 @@ class SkyriseEngine:
         record = yield from self.backend.invoke(
             "skyrise-coordinator", {"plan": plan.to_dict()})
         response = record.response
+        # Lost hedge races may still be running: the coordinator already
+        # returned (its runtime excludes them, like a real coordinator
+        # that stopped listening), but the abandoned attempts run to
+        # completion and must be billed. Drain them here so their
+        # records land inside this query's billing window.
+        for zombie in response.pop("_zombies", []):
+            if not zombie.processed:
+                yield zombie
         batch = self._fetch_result(response["result_keys"])
         self.barriers.clear(plan.query_id)
         new_records = self.backend.records[record_start:]
@@ -157,6 +178,7 @@ class SkyriseEngine:
 
     def _assemble(self, plan, record, response, batch, records) -> QueryResult:
         calculator = CostCalculator()
+        recovery_calculator = CostCalculator()
         cumulated = 0.0
         for invocation in records:
             config = self.backend.function(invocation.function)
@@ -164,6 +186,13 @@ class SkyriseEngine:
             calculator.add_function_invocation(
                 config.memory_bytes, invocation.duration,
                 label=invocation.function)
+            # Non-primary attempts (failed, retried, hedged) bill like
+            # any other invocation; itemize them so the resilience
+            # report can state the cost of recovery.
+            if classify_attempt(invocation) != "primary":
+                recovery_calculator.add_function_invocation(
+                    config.memory_bytes, invocation.duration,
+                    label=invocation.function)
         requests = 0
         read_requests = write_requests = 0
         request_sizes: list[float] = []
@@ -179,6 +208,7 @@ class SkyriseEngine:
         storage_cost = (pricing.read_cost(read_requests, bytes_read)
                         + pricing.write_cost(write_requests, bytes_written))
         compute_cost = calculator.cost.total
+        recovery = response.get("recovery", {})
         return QueryResult(
             query_id=plan.query_id,
             runtime=response["runtime"],
@@ -190,4 +220,10 @@ class SkyriseEngine:
             compute_cost_cents=compute_cost * 100.0,
             storage_cost_cents=storage_cost * 100.0,
             requests=requests,
-            request_sizes=request_sizes)
+            request_sizes=request_sizes,
+            retries=recovery.get("retries", 0),
+            hedges=recovery.get("hedges", 0),
+            hedge_wins=recovery.get("hedge_wins", 0),
+            failed_attempts=recovery.get("failed_attempts", 0),
+            retry_cost_cents=recovery_calculator.cost.total * 100.0,
+            recovery_events=recovery.get("events", []))

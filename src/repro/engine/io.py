@@ -160,6 +160,7 @@ class IoStack:
     def _fetch_range(self, key: str, nbytes: float,
                      defer_transfer: bool = False):
         """Process: a single range GET moving ``nbytes`` logical bytes."""
+        self.storage.check_fault(RequestType.GET, key)
         latency = self.storage.read_latency.sample_one(self.storage._rng)
         self.storage._admit_one(RequestType.GET, key)
         yield self.env.timeout(latency)

@@ -48,7 +48,7 @@ class ShuffleWriter:
 
     def __init__(self, io: IoStack, query_id: str, pipeline_id: str,
                  fragment: int, partition_key: str, partitions: int,
-                 combine: bool = True) -> None:
+                 combine: bool = True, epoch: int = 0) -> None:
         if partitions <= 0:
             raise ValueError("partitions must be positive")
         self.io = io
@@ -56,6 +56,12 @@ class ShuffleWriter:
         self.partition_key = partition_key
         self.partitions = partitions
         self.combine = combine
+        #: Query-execution epoch: fences idempotent re-writes. A retried
+        #: or hedged attempt carries the same epoch as its predecessor
+        #: and skips the write if the object is already committed; a
+        #: fresh execution of the same plan gets a new epoch and
+        #: overwrites normally.
+        self.epoch = epoch
 
     def partition_batch(self, batch: RecordBatch) -> list[ShufflePartition]:
         """Split ``batch`` into hash partitions by the shuffle key."""
@@ -79,16 +85,40 @@ class ShuffleWriter:
                 rows=len(piece)))
         return slices
 
+    def _committed(self):
+        """The already-written index if this epoch committed it, else None.
+
+        The check is metadata-only (``exists``/``head`` are free in the
+        storage model) so fault-free executions are unaffected.
+        """
+        storage = self.io.storage
+        if not storage.exists(self.key):
+            return None
+        existing = storage.head(self.key).payload
+        if isinstance(existing, dict) and existing.get("epoch") == self.epoch:
+            return existing
+        return None
+
     def write(self, batch: RecordBatch):
         """Process: partition and store the shuffle output.
+
+        Writes are idempotent per execution epoch: if another attempt of
+        this fragment already committed the object under the same epoch
+        (retry after a post-write crash, or a lost hedge race), the
+        write is skipped. Duplicate attempts compute identical content,
+        so a concurrent double-write is harmless either way.
 
         Returns the index payload (combined mode) or the per-partition
         key list (uncombined mode).
         """
+        committed = self._committed()
+        if committed is not None:
+            return committed
         slices = self.partition_batch(batch)
         if self.combine:
             payload = {
                 "combined": True,
+                "epoch": self.epoch,
                 "partitions": [s.payload for s in slices],
                 "logical": [s.logical_bytes for s in slices],
                 "rows": [s.rows for s in slices],
@@ -97,16 +127,20 @@ class ShuffleWriter:
             yield from self.io.write_object(self.key, payload, total_logical)
             return payload
         # Naive layout: one object (and one write request) per partition.
-        index = {
-            "combined": False,
-            "logical": [s.logical_bytes for s in slices],
-            "rows": [s.rows for s in slices],
-        }
-        yield from self.io.write_object(self.key, index, 1.0)
+        # Parts land first and the index last, so the index doubles as
+        # the commit record: readers (and the epoch check above) never
+        # observe an index whose parts are missing.
         for partition, piece in enumerate(slices):
             yield from self.io.write_object(
                 f"{self.key}/p-{partition:05d}", piece.payload,
                 max(piece.logical_bytes, 1.0))
+        index = {
+            "combined": False,
+            "epoch": self.epoch,
+            "logical": [s.logical_bytes for s in slices],
+            "rows": [s.rows for s in slices],
+        }
+        yield from self.io.write_object(self.key, index, 1.0)
         return index
 
 

@@ -11,6 +11,7 @@ straggler analysis.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,6 +30,8 @@ class WorkerSpan:
     finished_at: float
     cold: bool
     phases: dict[str, float] = field(default_factory=dict)
+    attempt: int = 0
+    hedged: bool = False
 
     @property
     def init_duration(self) -> float:
@@ -126,5 +129,30 @@ def trace_from_records(query_id: str,
             pipeline=report.pipeline, fragment=report.fragment,
             requested_at=record.requested_at, started_at=record.started_at,
             finished_at=record.finished_at, cold=record.cold,
-            phases=dict(report.phases)))
+            phases=dict(report.phases),
+            attempt=getattr(report, "attempt", 0),
+            hedged=getattr(report, "hedged", False)))
     return trace
+
+
+def hedge_candidates(elapsed_by_fragment: dict[int, float],
+                     completed_durations: list[float], total: int,
+                     factor: float = 3.0, quorum: float = 0.5,
+                     min_wait_s: float = 0.5) -> list[int]:
+    """Straggler detection for speculative re-execution.
+
+    A fragment qualifies once a quorum of its stage has completed and
+    its elapsed time exceeds ``factor`` x the median completed duration
+    (never less than ``min_wait_s``). This is the live-span analogue of
+    :meth:`QueryTrace.stragglers`, usable while the stage is running.
+    """
+    if not completed_durations:
+        return []
+    needed = max(1, math.ceil(quorum * total))
+    if len(completed_durations) < needed:
+        return []
+    median = float(np.median(completed_durations))
+    threshold = max(min_wait_s, factor * median)
+    return sorted(fragment
+                  for fragment, elapsed in elapsed_by_fragment.items()
+                  if elapsed > threshold)

@@ -55,6 +55,10 @@ class WorkerReport:
     request_sizes: list[float] = field(default_factory=list)
     phases: dict[str, float] = field(default_factory=dict)
     result_key: str | None = None
+    #: Retry attempt number of this execution (0 = primary).
+    attempt: int = 0
+    #: Whether this execution was a speculative (hedged) duplicate.
+    hedged: bool = False
 
 
 def result_key(query_id: str, fragment: int) -> str:
@@ -86,10 +90,13 @@ def _execute_fragment(runtime: WorkerRuntime, context: FunctionContext,
 
     # Synchronization barrier: all fragments of the pipeline rendezvous
     # before consuming their source (isolates the subflow for timing).
+    # ``arrive`` (not ``wait``) tolerates re-executed fragments: a retry
+    # can stand in for its crashed predecessor, and a late duplicate
+    # passes straight through an already-released barrier.
     if pipeline.barrier:
         barrier = runtime.barriers.get(query_id, pipeline.id,
                                        payload["fragment_count"])
-        yield barrier.wait()
+        yield barrier.arrive()
 
     # Side tables: read fully by every fragment (small dimensions).
     sides: dict[str, RecordBatch] = {}
@@ -129,7 +136,8 @@ def _execute_fragment(runtime: WorkerRuntime, context: FunctionContext,
             "encode", batch.logical_bytes))
         writer = ShuffleWriter(shuffle_io, query_id, pipeline.id, fragment,
                                pipeline.sink.partition_key,
-                               payload["out_partitions"])
+                               payload["out_partitions"],
+                               epoch=payload.get("epoch", 0))
         yield from writer.write(batch)
     else:
         yield context.compute(runtime.cost_model.cpu_seconds(
@@ -159,7 +167,9 @@ def _execute_fragment(runtime: WorkerRuntime, context: FunctionContext,
                        + shuffle_io.stats.bytes_written),
         request_sizes=(base_io.stats.request_sizes
                        + shuffle_io.stats.request_sizes),
-        phases=phases, result_key=out_key)
+        phases=phases, result_key=out_key,
+        attempt=payload.get("attempt", 0),
+        hedged=payload.get("hedged", False))
 
 
 def _zone_filter(source: TableSource):

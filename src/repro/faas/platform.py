@@ -17,7 +17,7 @@ from typing import Any, Optional
 from repro import units
 from repro.network.fabric import Fabric, FluidLink
 from repro.network.shaper import lambda_shaper
-from repro.sim import Environment, RandomStreams
+from repro.sim import AnyOf, Environment, RandomStreams
 from repro.faas.function import FunctionConfig, FunctionContext, InvocationRecord
 from repro.faas.regions import REGIONS, RegionProfile
 from repro.faas.sandbox import Sandbox
@@ -76,6 +76,10 @@ class LambdaPlatform:
         self._busy = 0
         self.records: list[InvocationRecord] = []
         self._rng = rng.stream(f"faas.{self.region.name}")
+        #: Chaos hook (:class:`repro.chaos.injector.FaultInjector` or
+        #: anything with the same ``on_invoke``/``on_place`` surface).
+        #: ``None`` means no injection — the default, fault-free path.
+        self.fault_injector = None
 
     # -- deployment ----------------------------------------------------------
 
@@ -130,6 +134,15 @@ class LambdaPlatform:
 
     def _invoke(self, name: str, payload: Any, requested_at: float):
         config = self.function(name)
+        # Chaos hook: one fault (at most) may strike this invocation.
+        fault = None
+        if self.fault_injector is not None:
+            fault = self.fault_injector.on_invoke(name, payload, self.env.now)
+        if fault is not None and fault.kind == "invoke_throttle" \
+                and fault.delay_s > 0:
+            # Frontend pushback: the request queues before admission, so
+            # the delay adds latency but is never billed.
+            yield self.env.timeout(fault.delay_s)
         # Admission: wait for concurrency (burst + 500/min ramp + quota).
         while not self.scaler.admit(self._busy, self.env.now):
             yield self.env.timeout(ADMISSION_RETRY_S)
@@ -148,12 +161,34 @@ class LambdaPlatform:
                 cold=cold, region=self.region.name)
             response = None
             error: Optional[BaseException] = None
-            handler_process = self.env.process(
-                config.handler(context, payload), name=f"fn-{name}")
-            try:
-                response = yield handler_process
-            except BaseException as exc:  # noqa: BLE001 - recorded, re-raised
-                error = exc
+            if fault is not None and fault.kind == "worker_crash":
+                # The invocation dies before the handler produces a
+                # result; the brief run-up is still billed.
+                if fault.delay_s > 0:
+                    yield self.env.timeout(fault.delay_s)
+                error = fault.make_error()
+            else:
+                if fault is not None and fault.kind == "invoke_straggler" \
+                        and fault.delay_s > 0:
+                    # Delayed handler start inside the sandbox (billed).
+                    yield self.env.timeout(fault.delay_s)
+                handler_process = self.env.process(
+                    config.handler(context, payload), name=f"fn-{name}")
+                try:
+                    if fault is not None and fault.kind == "sandbox_loss":
+                        # Race the handler against sandbox reclamation.
+                        doom = self.env.timeout(fault.after_s)
+                        yield AnyOf(self.env, [handler_process, doom])
+                        if handler_process.processed:
+                            response = handler_process.value
+                        else:
+                            handler_process.interrupt("sandbox lost")
+                            handler_process.defuse()
+                            error = fault.make_error()
+                    else:
+                        response = yield handler_process
+                except BaseException as exc:  # noqa: BLE001 - recorded, re-raised
+                    error = exc
             record = InvocationRecord(
                 function=name, sandbox_id=sandbox.id, cold=cold,
                 requested_at=requested_at, started_at=started_at,
@@ -240,6 +275,14 @@ class LambdaPlatform:
             f"sandbox-{config.name}",
             ingress=lambda_shaper("in"), egress=lambda_shaper("out"),
             links=links)
+        if self.fault_injector is not None:
+            factor = self.fault_injector.on_place(config.name, self.env.now)
+            if factor is not None:
+                # Degraded placement: this sandbox drew a slow NIC.
+                if endpoint.ingress is not None:
+                    endpoint.ingress.degrade(factor)
+                if endpoint.egress is not None:
+                    endpoint.egress.degrade(factor)
         idle_lifetime = float(self._rng.lognormal(
             mean=math.log(IDLE_LIFETIME_MEDIAN_S),
             sigma=IDLE_LIFETIME_SIGMA))

@@ -193,6 +193,20 @@ class TokenBucketShaper:
             due += self.grant_interval
         return due
 
+    def degrade(self, factor: float) -> None:
+        """Scale this shaper's rates down by ``factor`` (0 < factor <= 1).
+
+        Models a sandbox that drew a slow NIC (the placement-dependent
+        bandwidth variance of Section 4.2): both the burst and refill
+        rates shrink, so the endpoint is a persistent straggler for its
+        whole lifetime. Used by the chaos subsystem's ``network_degrade``
+        fault.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"factor must be in (0, 1], got {factor}")
+        self.burst_rate *= factor
+        self.refill_rate *= factor
+
     def on_idle(self, now: float = 0.0) -> None:
         """The last flow through this shaper stopped at time ``now``."""
         if self.idle_refill_level is not None and self._idle_since is None:

@@ -48,6 +48,10 @@ class CompletedQuery:
     #: Engine-reported execution time (excludes queue wait).
     runtime: float = 0.0
     cost_usd: float = 0.0
+    #: Recovery accounting of the underlying execution (zero when the
+    #: query ran fault-free).
+    retries: int = 0
+    hedges: int = 0
 
     @property
     def queue_wait(self) -> float:
@@ -75,6 +79,11 @@ class TenantReport:
     slo_latency_s: float
     slo_attainment: float
     cost_usd: float
+    #: Queries that started executing but errored out — distinct from
+    #: ``shed`` (turned away at admission, never started).
+    failed: int = 0
+    #: Served queries that needed at least one retry or hedge.
+    recovered: int = 0
 
     @property
     def shed_rate(self) -> float:
@@ -108,6 +117,7 @@ class ServingMetrics:
         self.offered: dict[str, int] = {}
         self.shed: dict[str, list[float]] = {}
         self.completed: dict[str, list[CompletedQuery]] = {}
+        self.failed: dict[str, list[float]] = {}
 
     # -- recording ---------------------------------------------------------
 
@@ -123,6 +133,15 @@ class ServingMetrics:
         """File one served query under its tenant."""
         self.completed.setdefault(record.tenant, []).append(record)
 
+    def record_failed(self, tenant: str, at: float) -> None:
+        """Count one query that started executing but errored out.
+
+        Failed queries count against SLO attainment like shed ones —
+        but they are reported separately: shed is a deliberate admission
+        decision, failure is an execution outcome.
+        """
+        self.failed.setdefault(tenant, []).append(at)
+
     # -- views -------------------------------------------------------------
 
     def tenants(self) -> list[str]:
@@ -136,6 +155,10 @@ class ServingMetrics:
     def shed_count(self, tenant: str) -> int:
         """Shed queries of one tenant."""
         return len(self.shed.get(tenant, []))
+
+    def failed_count(self, tenant: str) -> int:
+        """Failed (started but errored) queries of one tenant."""
+        return len(self.failed.get(tenant, []))
 
     def runtimes(self, tenant: str) -> list[float]:
         """Engine runtimes of a tenant's served queries, in finish order."""
@@ -165,4 +188,6 @@ class ServingMetrics:
                             if done else 0.0),
             slo_latency_s=slo_latency_s,
             slo_attainment=(within / offered) if offered else 1.0,
-            cost_usd=sum(r.cost_usd for r in done))
+            cost_usd=sum(r.cost_usd for r in done),
+            failed=self.failed_count(tenant),
+            recovered=sum(1 for r in done if r.retries > 0 or r.hedges > 0))

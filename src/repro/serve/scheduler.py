@@ -235,8 +235,18 @@ class QueryScheduler:
 
     def _serve_one(self, request: QueryRequest):
         request.started_at = self.env.now
+        failed = False
         try:
             result = yield from self.engine.run_query(request.plan)
+        except Exception:  # noqa: BLE001 - counted, serving continues
+            # An execution failure (e.g. a fragment that exhausted its
+            # retries under faults) must not take the scheduler down:
+            # record it and keep serving. Failed is distinct from shed —
+            # this query was admitted and started.
+            failed = True
+            barriers = getattr(self.engine, "barriers", None)
+            if barriers is not None:
+                barriers.clear(getattr(request.plan, "query_id", "?"))
         finally:
             request.finished_at = self.env.now
             self.inflight[request.tenant] -= 1
@@ -247,6 +257,9 @@ class QueryScheduler:
                 waiters, self._drain_waiters = self._drain_waiters, []
                 for event in waiters:
                     event.succeed()
+        if failed:
+            self.metrics.record_failed(request.tenant, request.finished_at)
+            return
         self.metrics.record_completion(CompletedQuery(
             tenant=request.tenant,
             query_id=getattr(result, "query_id",
@@ -256,4 +269,6 @@ class QueryScheduler:
             finished_at=request.finished_at,
             runtime=getattr(result, "runtime",
                             request.finished_at - request.started_at),
-            cost_usd=getattr(result, "cost_cents", 0.0) / 100.0))
+            cost_usd=getattr(result, "cost_cents", 0.0) / 100.0,
+            retries=getattr(result, "retries", 0),
+            hedges=getattr(result, "hedges", 0)))

@@ -97,6 +97,16 @@ class ServingOutcome:
         return sum(r.shed for r in self.reports.values())
 
     @property
+    def total_failed(self) -> int:
+        """Queries that started executing but errored out."""
+        return sum(r.failed for r in self.reports.values())
+
+    @property
+    def total_recovered(self) -> int:
+        """Served queries that needed at least one retry or hedge."""
+        return sum(r.recovered for r in self.reports.values())
+
+    @property
     def total_cost_usd(self) -> float:
         """Query-attributed cost plus warm-pool keep-alive spend."""
         return (sum(r.cost_usd for r in self.reports.values())
@@ -110,7 +120,9 @@ class ServingOutcome:
         table = format_table(REPORT_HEADERS, rows, title=title)
         lines = [table,
                  f"queries: {self.total_completed}/{self.total_offered} "
-                 f"served, {self.total_shed} shed; peak concurrency "
+                 f"served, {self.total_shed} shed, {self.total_failed} "
+                 f"failed, {self.total_recovered} recovered; "
+                 f"peak concurrency "
                  f"{self.peak_concurrent_queries}"
                  + (f"/{self.governor_cap}" if self.governor_cap else ""),
                  f"total cost ${self.total_cost_usd:.4f}"
@@ -123,6 +135,8 @@ class ServingOutcome:
         """Flat metric dict (stable keys) for tests and JSON dumps."""
         out = {"policy": self.policy, "offered": self.total_offered,
                "completed": self.total_completed, "shed": self.total_shed,
+               "failed": self.total_failed,
+               "recovered": self.total_recovered,
                "cost_usd": round(self.total_cost_usd, 10),
                "peak_concurrency": self.peak_concurrent_queries}
         for name, report in self.reports.items():
@@ -132,6 +146,8 @@ class ServingOutcome:
             out[f"{name}.queue_wait"] = round(report.mean_queue_wait, 9)
             out[f"{name}.slo"] = round(report.slo_attainment, 9)
             out[f"{name}.shed"] = report.shed
+            out[f"{name}.failed"] = report.failed
+            out[f"{name}.recovered"] = report.recovered
         return out
 
 
@@ -144,13 +160,19 @@ def run_serving_workload(workloads: list[TenantWorkload],
                          fragments_per_query: int = 4,
                          max_concurrent_queries: Optional[int] = None,
                          warm_targets: Optional[dict[str, int]] = None,
-                         warm_interval_s: float = 240.0) -> ServingOutcome:
+                         warm_interval_s: float = 240.0,
+                         fault_plan=None,
+                         recovery=None) -> ServingOutcome:
     """Serve a multi-tenant Poisson mix on the simulated platform.
 
     Each tenant's arrivals come from its own named RNG stream, so the
     trace depends only on ``seed`` and the mix — not on the scheduling
     policy — and two runs that differ only in ``policy`` see identical
     overload.
+
+    ``fault_plan`` (a :class:`~repro.chaos.plan.FaultPlan` or plan name)
+    installs a chaos injector over the run; ``recovery`` configures the
+    engine's task-level fault tolerance.
     """
     if not workloads:
         raise ValueError("need at least one tenant workload")
@@ -160,7 +182,15 @@ def run_serving_workload(workloads: list[TenantWorkload],
                                 orders_partitions=2,
                                 clickstreams_partitions=2,
                                 rows_per_partition=96)
-    engine = setup_engine(sim, setup)
+    engine = setup_engine(sim, setup, recovery=recovery)
+    if fault_plan is not None:
+        from repro.chaos.injector import FaultInjector
+        from repro.chaos.plan import get_plan
+        if isinstance(fault_plan, str):
+            fault_plan = get_plan(fault_plan)
+        injector = FaultInjector(fault_plan, rng=sim.rng)
+        injector.install(platform=sim.platform,
+                         services=list(engine.storage.values()))
     metrics = ServingMetrics()
     gateway = QueryGateway(sim.env, metrics)
     plans = {}

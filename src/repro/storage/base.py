@@ -145,8 +145,25 @@ class StorageService:
         self.stats = RequestStats()
         self._rng = rng.stream(f"storage.{self.name}")
         self._objects: dict[str, StorageObject] = {}
+        #: Chaos hook: ``hook(op, key, now)`` returning an error to
+        #: inject for this request, or ``None``. Default: no injection.
+        self.fault_hook = None
 
     # -- discrete request path ----------------------------------------------
+
+    def check_fault(self, op: RequestType, key: str) -> None:
+        """Raise an injected fault for this request, if one strikes.
+
+        Injected errors count in :class:`RequestStats` like real
+        failures (the request reached the service frontend), under the
+        dedicated ``injected-fault`` outcome.
+        """
+        if self.fault_hook is None:
+            return
+        error = self.fault_hook(op.value, key, self.env.now)
+        if error is not None:
+            self.stats.record(op, "injected-fault")
+            raise error
 
     def get(self, key: str, endpoint: Optional[Endpoint] = None):
         """Process: read the object at ``key``.
@@ -154,6 +171,7 @@ class StorageService:
         Returns the :class:`StorageObject`. Raises the service's throttle
         error type if admission fails, :class:`NoSuchKey` if absent.
         """
+        self.check_fault(RequestType.GET, key)
         self._admit_one(RequestType.GET, key)
         obj = self._objects.get(key)
         if obj is None:
@@ -177,6 +195,7 @@ class StorageService:
         if self.max_item_size is not None and nbytes > self.max_item_size:
             self.stats.record(RequestType.PUT, "too-large")
             self._reject_too_large(nbytes)
+        self.check_fault(RequestType.PUT, key)
         self._admit_one(RequestType.PUT, key)
         latency = self.write_latency.sample_one(self._rng)
         yield self.env.timeout(latency)

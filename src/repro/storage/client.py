@@ -59,6 +59,10 @@ class RetryingClient:
         self.policy = policy if policy is not None else RetryPolicy()
         self.endpoint = endpoint
         self.stats = ClientStats()
+        #: Chaos hook: ``hook(op, key, now)`` returning an error to
+        #: inject client-side, or ``None``. Injected errors go through
+        #: the same retry/backoff classification as real ones.
+        self.fault_hook = None
 
     def get(self, key: str):
         """Process: read ``key`` with retries. Returns the StorageObject."""
@@ -100,6 +104,10 @@ class RetryingClient:
 
     def _timed(self, op: str, key: str, payload, size):
         """Race one service request against the client timeout."""
+        if self.fault_hook is not None:
+            error = self.fault_hook(op, key, self.env.now)
+            if error is not None:
+                raise error
         request = self.env.process(self._attempt(op, key, payload, size),
                                    name=f"storage-{op}")
         deadline = self.env.timeout(self.policy.request_timeout)

@@ -57,8 +57,13 @@ class SuiteSetup:
 def setup_engine(sim: CloudSim, setup: SuiteSetup,
                  backend: str = "faas", vm_count: int = 8,
                  intermediate_service: str = "s3-standard",
-                 ) -> SkyriseEngine:
-    """Load datasets and deploy the engine on the chosen backend."""
+                 recovery=None) -> SkyriseEngine:
+    """Load datasets and deploy the engine on the chosen backend.
+
+    ``recovery`` (a :class:`~repro.engine.coordinator.RecoveryConfig`)
+    configures the coordinator's task-level fault tolerance; ``None``
+    uses the defaults (retries on, hedging off).
+    """
     s3 = sim.s3()
     storage = {"s3-standard": s3}
     if intermediate_service != "s3-standard":
@@ -74,7 +79,8 @@ def setup_engine(sim: CloudSim, setup: SuiteSetup,
     else:
         raise ValueError(f"unknown backend {backend!r}")
     engine = SkyriseEngine(sim.env, platform, storage=storage,
-                           intermediate_service=intermediate_service)
+                           intermediate_service=intermediate_service,
+                           recovery=recovery)
     for table in metadata:
         engine.register_table(table)
     engine.deploy()

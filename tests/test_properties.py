@@ -134,6 +134,22 @@ class TestBreakEvenProperties:
         assert cheaper_ram == pytest.approx(2 * bei, rel=1e-9)
 
 
+class TestChaosDeterminism:
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=3, deadline=None)
+    def test_same_seed_and_plan_give_byte_identical_reports(self, seed):
+        """The resilience report's determinism contract is byte-exact:
+        the whole run — arrivals, injections, retries, hedges, billing —
+        replays identically from (seed, plan)."""
+        from repro.chaos.runner import run_chaos_suite
+
+        first = run_chaos_suite("smoke", queries=("tpch-q6",), repeats=1,
+                                seed=seed, baseline=False)
+        second = run_chaos_suite("smoke", queries=("tpch-q6",), repeats=1,
+                                 seed=seed, baseline=False)
+        assert first.to_json() == second.to_json()
+
+
 class TestBatchInvariants:
     @given(n=st.integers(min_value=0, max_value=200),
            take_seed=st.integers(min_value=0, max_value=2**31))
