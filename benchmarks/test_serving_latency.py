@@ -53,6 +53,9 @@ def test_serving_latency(benchmark):
                f"{WINDOW_S:.0f}s, {MAX_QUERIES} concurrent quer"
                f"{'y' if MAX_QUERIES == 1 else 'ies'})"))
     save_artifact("serving_latency", table)
+    # Canonical JSON companion artifact (shared writer, byte-stable).
+    save_artifact("serving_latency_high_rate",
+                  outcomes[RATE_SCALES[-1]].to_json())
 
     low, high = outcomes[RATE_SCALES[0]], outcomes[RATE_SCALES[-1]]
     # Offered load actually scales with the rate knob.

@@ -1,0 +1,75 @@
+"""Micro-benchmark: telemetry overhead, disabled and enabled.
+
+The telemetry contract is that the *default* (disabled) path costs one
+predicate check per instrumentation site — an uninstrumented run should
+be indistinguishable from a build without telemetry — and that enabled
+recording stays within a small constant factor. This benchmark times
+TPC-H Q6 end-to-end both ways and bounds the ratio, and measures the
+raw cost of the disabled-path guard itself.
+"""
+
+import time
+
+from conftest import save_artifact
+from repro.core import format_table
+from repro.core.context import CloudSim
+from repro.telemetry import get_recorder, recording
+from repro.workloads.suite import SuiteSetup, build_plan, setup_engine
+
+ROUNDS = 3
+#: Enabled recording must stay within this factor of the disabled run.
+MAX_ENABLED_RATIO = 3.0
+
+
+def _run_q6(record: bool) -> float:
+    started = time.perf_counter()
+    if record:
+        with recording():
+            _execute()
+    else:
+        _execute()
+    return time.perf_counter() - started
+
+
+def _execute() -> None:
+    sim = CloudSim(seed=11)
+    setup = SuiteSetup(queries=("tpch-q6",), lineitem_partitions=3,
+                       orders_partitions=2, rows_per_partition=96)
+    engine = setup_engine(sim, setup)
+    sim.run(engine.run_query(build_plan("tpch-q6")))
+
+
+def test_telemetry_overhead(benchmark):
+    def run_experiment():
+        disabled = sorted(_run_q6(record=False) for _ in range(ROUNDS))
+        enabled = sorted(_run_q6(record=True) for _ in range(ROUNDS))
+        return disabled[ROUNDS // 2], enabled[ROUNDS // 2]
+
+    disabled_s, enabled_s = benchmark.pedantic(run_experiment, rounds=1,
+                                               iterations=1)
+    ratio = enabled_s / disabled_s
+    table = format_table(
+        ["Mode", "Median wall [s]", "Ratio"],
+        [["telemetry off (default)", f"{disabled_s:.4f}", "1.00"],
+         ["telemetry on", f"{enabled_s:.4f}", f"{ratio:.2f}"]],
+        title=f"Telemetry overhead, TPC-H Q6, median of {ROUNDS}")
+    save_artifact("telemetry_overhead", table)
+    assert ratio < MAX_ENABLED_RATIO, (
+        f"enabled telemetry costs {ratio:.2f}x the disabled run "
+        f"(bound {MAX_ENABLED_RATIO}x)")
+
+
+def test_disabled_guard_is_cheap(benchmark):
+    """The per-site cost when telemetry is off: one attribute check."""
+    recorder = get_recorder()
+    assert not recorder.enabled
+
+    def guard_loop():
+        telemetry = recorder if recorder.enabled else None
+        hits = 0
+        for _ in range(100_000):
+            if telemetry is not None:
+                hits += 1
+        return hits
+
+    assert benchmark(guard_loop) == 0

@@ -1,0 +1,101 @@
+"""Scenario: watch the platform breathe — live telemetry on two workloads.
+
+Part 1 replays the Figure 5 network-burst microbenchmark with telemetry
+recording on: the function's ingress token bucket drains at burst rate,
+throttles to baseline, half-refills during the 3 s pause, and drains
+again — and this time the *shaper itself* reports it, as token-level /
+allowed-rate time series and throttle-transition events, rather than
+the experiment inferring it from throughput samples.
+
+Part 2 traces TPC-H Q12 end to end and exports a Chrome-trace JSON:
+coordinator → stage → worker spans with per-phase and per-storage-call
+children, loadable in ui.perfetto.dev (or chrome://tracing), plus the
+canonical metrics snapshot.
+
+Run with::
+
+    python examples/telemetry_deep_dive.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.core import CloudSim
+from repro.core.micro.network import run_function_network_burst
+from repro.telemetry import (
+    canonical_json,
+    chrome_trace,
+    metrics_snapshot,
+    recording,
+    render_dashboard,
+    sparkline,
+)
+from repro.workloads.suite import SuiteSetup, build_plan, setup_engine
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def figure5_with_live_shaper_telemetry() -> None:
+    print("=" * 72)
+    print("Part 1: Figure 5 burst replay, observed from inside the shaper")
+    print("=" * 72)
+    with recording() as recorder:
+        sim = CloudSim(seed=5)
+        first, second = run_function_network_burst(sim, duration=5.0,
+                                                   break_s=3.0)
+    print(f"first run:  {first.mean_rate / 1e9:.2f} GB/s mean")
+    print(f"second run: {second.mean_rate / 1e9:.2f} GB/s mean "
+          f"(half-refilled bucket)")
+    transitions = recorder.metrics.counters[
+        "shaper.throttle_transitions"].value
+    print(f"shaper throttle transitions observed: {transitions}")
+    for name, series in sorted(recorder.metrics.series.items()):
+        if name.startswith("shaper.") and name.endswith(".level") \
+                and series.points:
+            print(f"  {name} [{len(series.points)} samples]")
+            print(f"    {sparkline(series.values(), width=60)}")
+    throttle_events = [e for e in recorder.events
+                       if e["name"].startswith("shaper.")]
+    for event in throttle_events[:6]:
+        print(f"  t={event['t']:.3f}s {event['name']} ({event['shaper']})")
+    if len(throttle_events) > 6:
+        print(f"  ... {len(throttle_events) - 6} more shaper events")
+
+
+def trace_q12() -> None:
+    print()
+    print("=" * 72)
+    print("Part 2: TPC-H Q12, traced across every layer")
+    print("=" * 72)
+    with recording() as recorder:
+        sim = CloudSim(seed=7)
+        setup = SuiteSetup(queries=("tpch-q12",), lineitem_partitions=3,
+                           orders_partitions=2, rows_per_partition=96)
+        engine = setup_engine(sim, setup)
+        result = sim.run(engine.run_query(build_plan("tpch-q12")))
+    print(f"runtime {result.runtime:.3f}s, cost {result.cost_cents:.4f}¢, "
+          f"{len(recorder.spans)} spans recorded")
+    print()
+    print(render_dashboard(recorder, series_width=60))
+
+    RESULTS.mkdir(exist_ok=True)
+    trace_path = RESULTS / "tpch_q12_trace.json"
+    metrics_path = RESULTS / "tpch_q12_metrics.json"
+    trace_path.write_text(canonical_json(chrome_trace(recorder)) + "\n")
+    metrics_path.write_text(canonical_json(metrics_snapshot(recorder)) + "\n")
+    print()
+    print(f"wrote {trace_path}")
+    print(f"  -> open ui.perfetto.dev and drop the file in to see the")
+    print(f"     coordinator/stage/worker/storage span hierarchy")
+    print(f"wrote {metrics_path}")
+
+
+def main() -> None:
+    figure5_with_live_shaper_telemetry()
+    trace_q12()
+
+
+if __name__ == "__main__":
+    main()

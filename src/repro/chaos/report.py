@@ -9,14 +9,10 @@ determinism contract is byte-exact: same seed + same plan => identical
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from typing import Optional
 
-
-def _r(value: Optional[float], digits: int = 9) -> Optional[float]:
-    """Round for canonical JSON (None passes through)."""
-    return None if value is None else round(float(value), digits)
+from repro.telemetry.export import canonical_json, round_for_json as _r
 
 
 @dataclass
@@ -160,7 +156,7 @@ class ResilienceReport:
 
     def to_json(self) -> str:
         """Canonical JSON artifact (byte-stable for a fixed seed+plan)."""
-        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+        return canonical_json(self.to_dict())
 
     def format(self) -> str:
         """Text rendering for the ``repro chaos`` CLI."""

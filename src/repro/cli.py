@@ -9,6 +9,8 @@ JSON results come out, and the plotter renders what it can. Usage::
     python -m repro suite network             # run a whole suite
     python -m repro serve --policy fair       # multi-tenant serving run
     python -m repro chaos --plan demo-outage  # fault-injected suite run
+    python -m repro trace --query tpch-q12    # Perfetto trace of one query
+    python -m repro metrics --query tpch-q12  # telemetry dashboard
 """
 
 from __future__ import annotations
@@ -102,6 +104,100 @@ def _run_chaos(args) -> int:
     return 0
 
 
+def _record_query(query: str, seed: int):
+    """Run one TPC-H query with telemetry recording on; return result+recorder."""
+    from repro.core.context import CloudSim
+    from repro.telemetry import recording
+    from repro.workloads.suite import SuiteSetup, build_plan, setup_engine
+
+    with recording() as recorder:
+        sim = CloudSim(seed=seed)
+        setup = SuiteSetup(queries=(query,), lineitem_partitions=3,
+                           orders_partitions=2, clickstreams_partitions=2,
+                           rows_per_partition=96)
+        engine = setup_engine(sim, setup)
+        result = sim.run(engine.run_query(build_plan(query)))
+    return result, recorder
+
+
+def _run_trace(args) -> int:
+    """Trace one query and export a Perfetto-loadable Chrome trace."""
+    import json
+
+    from repro.telemetry import (
+        canonical_json,
+        chrome_trace,
+        metrics_snapshot,
+        validate_chrome_trace,
+    )
+
+    query = "tpch-q6" if args.smoke else args.query
+    try:
+        result, recorder = _record_query(query, args.seed)
+        trace = chrome_trace(recorder)
+        snapshot = metrics_snapshot(recorder)
+        trace_text = canonical_json(trace)
+        snapshot_text = canonical_json(snapshot)
+        # Round-trip both artifacts through the parser before (and
+        # instead of trusting) any consumer: the smoke gate is exactly
+        # "both artifacts parse and the trace schema holds".
+        counts = validate_chrome_trace(json.loads(trace_text))
+        parsed_snapshot = json.loads(snapshot_text)
+    except (KeyError, ValueError) as exc:
+        print(f"repro trace: error: {exc}", file=sys.stderr)
+        return 1 if args.smoke else 2
+    if args.smoke:
+        if not parsed_snapshot.get("counters"):
+            print("repro trace --smoke: FAIL: metrics snapshot has no "
+                  "counters", file=sys.stderr)
+            return 1
+        if not counts.get("X"):
+            print("repro trace --smoke: FAIL: trace has no complete "
+                  "spans", file=sys.stderr)
+            return 1
+        print(f"smoke OK: {query} runtime {result.runtime:.3f}s; "
+              f"trace events {counts}; metrics snapshot "
+              f"{len(parsed_snapshot['counters'])} counters / "
+              f"{len(parsed_snapshot['series'])} series")
+        return 0
+    output_dir = Path(args.output)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = output_dir / f"{query}-trace.json"
+    metrics_path = output_dir / f"{query}-metrics.json"
+    trace_path.write_text(trace_text + "\n")
+    metrics_path.write_text(snapshot_text + "\n")
+    print(f"{query}: runtime {result.runtime:.3f}s, "
+          f"cost {result.cost_cents:.4f}¢")
+    print(f"  {counts['X']} spans, {counts.get('i', 0)} instants, "
+          f"{counts.get('C', 0)} counter samples")
+    print(f"  trace   -> {trace_path}  (load in ui.perfetto.dev or "
+          f"chrome://tracing)")
+    print(f"  metrics -> {metrics_path}")
+    return 0
+
+
+def _run_metrics(args) -> int:
+    """Run one query with telemetry on and print the metric dashboard."""
+    from repro.telemetry import (
+        canonical_json,
+        metrics_snapshot,
+        render_dashboard,
+    )
+
+    try:
+        result, recorder = _record_query(args.query, args.seed)
+    except (KeyError, ValueError) as exc:
+        print(f"repro metrics: error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(canonical_json(metrics_snapshot(recorder)))
+    else:
+        print(render_dashboard(recorder))
+        print(f"\nquery {args.query}: runtime {result.runtime:.3f}s, "
+              f"cost {result.cost_cents:.4f}¢")
+    return 0
+
+
 def _run_configs(configs, output_dir: Path, plot: bool) -> int:
     driver = Driver()
     for config in configs:
@@ -166,12 +262,33 @@ def main(argv: list[str] | None = None) -> int:
     chaos.add_argument("--smoke", action="store_true",
                        help="CI gate: smoke plan, fail on any unrecovered "
                             "query or nondeterministic report")
+    trace = commands.add_parser(
+        "trace", help="run one query with telemetry and export its trace")
+    trace.add_argument("--query", default="tpch-q12",
+                       help="TPC-H query to trace (default: tpch-q12)")
+    trace.add_argument("--seed", type=int, default=0,
+                       help="RNG seed (fixed seed -> identical trace)")
+    trace.add_argument("--smoke", action="store_true",
+                       help="CI gate: trace tpch-q6, validate that the "
+                            "Chrome trace and metrics snapshot parse")
+    metrics = commands.add_parser(
+        "metrics", help="run one query with telemetry and show a dashboard")
+    metrics.add_argument("--query", default="tpch-q12",
+                         help="TPC-H query to profile (default: tpch-q12)")
+    metrics.add_argument("--seed", type=int, default=0,
+                         help="RNG seed (fixed seed -> identical metrics)")
+    metrics.add_argument("--json", action="store_true",
+                         help="print the canonical JSON metrics snapshot")
     args = parser.parse_args(argv)
 
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "chaos":
         return _run_chaos(args)
+    if args.command == "trace":
+        return _run_trace(args)
+    if args.command == "metrics":
+        return _run_metrics(args)
 
     output_dir = Path(args.output)
     if args.command == "list":

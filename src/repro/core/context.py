@@ -16,6 +16,7 @@ from repro.network import Fabric
 from repro.network.fabric import FluidLink
 from repro.sim import Environment, RandomStreams
 from repro.storage import DynamoDB, EFS, S3Express, S3Standard
+from repro.telemetry import get_recorder
 
 #: The hard aggregate-throughput ceiling observed for customer-owned VPCs
 #: within a single AZ (Section 4.2.2).
@@ -29,6 +30,9 @@ class CloudSim:
                  account_quota: int = 10_000,
                  use_vpc: bool = False) -> None:
         self.env = Environment()
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.attach_kernel(self.env)
         self.fabric = Fabric(self.env)
         self.rng = RandomStreams(seed=seed)
         self.region = region

@@ -37,6 +37,7 @@ from repro.engine.plan import (
 from repro.engine.tracing import hedge_candidates
 from repro.faas.function import FunctionContext
 from repro.sim import AnyOf
+from repro.telemetry import get_recorder
 
 #: Per-invocation dispatch overhead on the invoking function (seconds).
 INVOKE_DISPATCH_S = 0.003
@@ -188,6 +189,11 @@ def make_invoker_handler(runtime: CoordinatorRuntime):
         processes = []
         for fragment_payload in payload["fragments"]:
             yield env.timeout(INVOKE_DISPATCH_S)
+            if context.trace_ctx is not None:
+                # Re-parent the worker invoke under this invoker's span so
+                # the trace shows the two-level fan-out.
+                fragment_payload = dict(fragment_payload,
+                                        trace=context.trace_ctx)
             processes.append((fragment_payload, env.process(
                 _supervise(env, runtime.backend, runtime.worker_function,
                            fragment_payload),
@@ -218,6 +224,13 @@ def _run_query(runtime: CoordinatorRuntime, context: FunctionContext,
     state = RecoveryState()
     jitter_rng = np.random.default_rng(runtime.recovery.seed)
     fragments = _compile_fragments(runtime, plan)
+    recorder = get_recorder()
+    coord_span = None
+    if recorder.enabled:
+        coord_span = recorder.start_span(
+            f"coordinate {plan.query_id}", env.now,
+            parent=context.trace_ctx, category="coordinator",
+            attrs={"query_id": plan.query_id, "epoch": epoch})
     stage_reports: list[StageReport] = []
     for stage in plan.stages():
         processes = []
@@ -225,15 +238,32 @@ def _run_query(runtime: CoordinatorRuntime, context: FunctionContext,
         for pipeline in stage:
             payloads = _fragment_payloads(runtime, plan, pipeline, fragments,
                                           epoch=epoch)
-            processes.append((pipeline, env.process(
+            stage_span = None
+            if coord_span is not None:
+                stage_span = recorder.start_span(
+                    f"stage {pipeline.id}", env.now, parent=coord_span,
+                    category="stage",
+                    attrs={"pipeline": pipeline.id,
+                           "fragments": fragments[pipeline.id]})
+                for fragment_payload in payloads:
+                    fragment_payload["trace"] = stage_span
+            processes.append((pipeline, stage_span, env.process(
                 _dispatch(runtime, context, pipeline.id, payloads, state,
                           jitter_rng),
                 name=f"stage-{pipeline.id}")))
-        for pipeline, process in processes:
+        for pipeline, stage_span, process in processes:
             reports = yield process
-            stage_reports.append(_aggregate_stage(
+            report = _aggregate_stage(
                 pipeline, fragments[pipeline.id], stage_started, env.now,
-                reports))
+                reports)
+            stage_reports.append(report)
+            if stage_span is not None:
+                stage_span.finish(env.now, rows_out=report.rows_out,
+                                  bytes_read=report.bytes_read,
+                                  bytes_written=report.bytes_written)
+    if coord_span is not None:
+        coord_span.finish(env.now, retries=state.retries,
+                          hedges=state.hedges)
     final = plan.final_pipeline
     return {
         "query_id": plan.query_id,
@@ -444,6 +474,12 @@ def _handle_failure(env, runtime: CoordinatorRuntime, pipeline_id: str,
         "fragment": slot.fragment, "attempt": payload["attempt"],
         "backoff_s": round(delay, 9),
         "cause": type(exc).__name__})
+    recorder = get_recorder()
+    if recorder.enabled:
+        recorder.event(env.now, "recovery.retry", category="recovery",
+                       pipeline=pipeline_id, fragment=slot.fragment,
+                       attempt=payload["attempt"], backoff_s=delay,
+                       cause=type(exc).__name__)
     slot.active.append((
         env.process(_delayed_attempt(env, runtime.backend,
                                      runtime.worker_function, payload,
@@ -494,9 +530,13 @@ def _prime_two_level(env, runtime: CoordinatorRuntime, pipeline_id: str,
         for slot in chunk:
             slot.attempts = 1
             slot.launched_at = env.now
+        invoker_payload = {"fragments": [slot.payload for slot in chunk]}
+        trace = chunk[0].payload.get("trace")
+        if trace is not None:
+            invoker_payload["trace"] = trace
         processes.append((chunk, env.process(
             _supervise(env, runtime.backend, runtime.invoker_function,
-                       {"fragments": [slot.payload for slot in chunk]}),
+                       invoker_payload),
             name="invoke-invoker")))
     for chunk, process in processes:
         ok, value = yield process
@@ -569,6 +609,12 @@ def _await_slots(runtime: CoordinatorRuntime, context: FunctionContext,
                             "t": round(env.now, 9), "event": "hedge_win",
                             "pipeline": pipeline_id,
                             "fragment": slot.fragment})
+                        recorder = get_recorder()
+                        if recorder.enabled:
+                            recorder.event(
+                                env.now, "recovery.hedge_win",
+                                category="recovery", pipeline=pipeline_id,
+                                fragment=slot.fragment)
                     # Any sibling attempts still in flight are zombies:
                     # they run (and bill) to completion unobserved.
                     state.zombies.extend(
@@ -586,7 +632,8 @@ def _await_slots(runtime: CoordinatorRuntime, context: FunctionContext,
                     elapsed, completed_durations, len(slots),
                     factor=recovery.hedge_factor,
                     quorum=recovery.hedge_quorum,
-                    min_wait_s=recovery.hedge_min_wait_s):
+                    min_wait_s=recovery.hedge_min_wait_s,
+                    now=env.now, pipeline=pipeline_id):
                 if state.hedges >= recovery.hedge_budget:
                     break
                 slot = by_fragment[fragment]
@@ -598,6 +645,12 @@ def _await_slots(runtime: CoordinatorRuntime, context: FunctionContext,
                     "t": round(env.now, 9), "event": "hedge",
                     "pipeline": pipeline_id, "fragment": slot.fragment,
                     "elapsed_s": round(elapsed[fragment], 9)})
+                recorder = get_recorder()
+                if recorder.enabled:
+                    recorder.event(
+                        env.now, "recovery.hedge", category="recovery",
+                        pipeline=pipeline_id, fragment=slot.fragment,
+                        elapsed_s=elapsed[fragment])
                 slot.active.append((
                     env.process(_supervise(env, runtime.backend,
                                            runtime.worker_function,

@@ -32,6 +32,7 @@ from repro.pricing.calculator import CostCalculator
 from repro.pricing.catalog import STORAGE_PRICES
 from repro.sim import Environment
 from repro.storage.base import StorageService
+from repro.telemetry import get_recorder
 
 #: Worker sizing used throughout the paper's query experiments:
 #: 4 vCPUs and 7,076 MiB of RAM (Sections 4.5 and 5.2).
@@ -152,8 +153,15 @@ class SkyriseEngine:
         if not self._deployed:
             raise RuntimeError("call deploy() before run_query()")
         record_start = len(self.backend.records)
-        record = yield from self.backend.invoke(
-            "skyrise-coordinator", {"plan": plan.to_dict()})
+        recorder = get_recorder()
+        payload = {"plan": plan.to_dict()}
+        root = None
+        if recorder.enabled:
+            root = recorder.start_trace(
+                f"query {plan.query_id}", self.env.now,
+                attrs={"query_id": plan.query_id})
+            payload["trace"] = root
+        record = yield from self.backend.invoke("skyrise-coordinator", payload)
         response = record.response
         # Lost hedge races may still be running: the coordinator already
         # returned (its runtime excludes them, like a real coordinator
@@ -166,7 +174,11 @@ class SkyriseEngine:
         batch = self._fetch_result(response["result_keys"])
         self.barriers.clear(plan.query_id)
         new_records = self.backend.records[record_start:]
-        return self._assemble(plan, record, response, batch, new_records)
+        result = self._assemble(plan, record, response, batch, new_records)
+        if root is not None:
+            root.finish(self.env.now, runtime=result.runtime,
+                        cost_cents=result.cost_cents)
+        return result
 
     def _fetch_result(self, result_keys: list[str]):
         service = self.storage[self.intermediate_service]

@@ -16,6 +16,7 @@ from repro.network.fabric import Endpoint
 from repro.sim import AnyOf, Environment
 from repro.storage.base import RequestType, StorageService
 from repro.storage.errors import StorageError
+from repro.telemetry import get_recorder
 
 #: Default chunk size for large reads. 64 MiB keeps the per-partition
 #: request count at Table 6 levels (about one request per partition for
@@ -76,6 +77,11 @@ class IoStack:
         self.concurrency = concurrency
         self.stats = IoStats()
         self._deferred_bytes = 0.0
+        recorder = get_recorder()
+        self._telemetry = recorder if recorder.enabled else None
+        #: Parent span for this stack's storage spans; the worker sets it
+        #: to its own span so reads/writes nest inside the worker.
+        self.span = None
 
     # -- reads ---------------------------------------------------------------
 
@@ -108,6 +114,13 @@ class IoStack:
         if defer_transfer:
             self._deferred_bytes += size
         self.stats.read_time += self.env.now - started
+        if self._telemetry is not None:
+            self._telemetry.record_span(
+                "storage.read", started, self.env.now, parent=self.span,
+                category="storage",
+                attrs={"key": key, "bytes": size,
+                       "service": self.storage.name,
+                       "chunks": len(chunks)})
         return obj
 
     def bulk_transfer(self):
@@ -120,6 +133,11 @@ class IoStack:
         yield from self.storage._transfer(RequestType.GET, nbytes,
                                           self.endpoint)
         self.stats.read_time += self.env.now - started
+        if self._telemetry is not None:
+            self._telemetry.record_span(
+                "storage.bulk_transfer", started, self.env.now,
+                parent=self.span, category="storage",
+                attrs={"bytes": nbytes, "service": self.storage.name})
 
     def _read_chunk(self, key: str, nbytes: float,
                     defer_transfer: bool = False):
@@ -156,6 +174,11 @@ class IoStack:
                 attempt.interrupt("straggler-retrigger")
                 attempt.defuse()
             self.stats.retried += 1
+            if self._telemetry is not None:
+                self._telemetry.event(
+                    self.env.now, "io.straggler_retrigger",
+                    category="storage", key=key, bytes=nbytes,
+                    timeout_s=timeout_s, service=self.storage.name)
 
     def _fetch_range(self, key: str, nbytes: float,
                      defer_transfer: bool = False):
@@ -181,6 +204,12 @@ class IoStack:
         self.stats.request_sizes.append(logical_bytes)
         self.stats.bytes_written += logical_bytes
         self.stats.write_time += self.env.now - started
+        if self._telemetry is not None:
+            self._telemetry.record_span(
+                "storage.write", started, self.env.now, parent=self.span,
+                category="storage",
+                attrs={"key": key, "bytes": logical_bytes,
+                       "service": self.storage.name})
         return obj
 
 

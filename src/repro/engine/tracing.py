@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.faas.function import InvocationRecord
+from repro.telemetry import get_recorder
 
 
 @dataclass
@@ -108,7 +109,16 @@ class QueryTrace:
                     row[i] = "."
                 for i in range(init_end, max(end, init_end) + 1):
                     row[i] = "#"
-                marker = "C" if span.cold else "w"
+                # Marker precedence: a hedged duplicate ('h') or retry
+                # ('r') is more informative than its start temperature.
+                if span.hedged:
+                    marker = "h"
+                elif span.attempt > 0:
+                    marker = "r"
+                elif span.cold:
+                    marker = "C"
+                else:
+                    marker = "w"
                 lines.append(f"  {span.fragment:>4} {marker} |{''.join(row)}|")
         return "\n".join(lines)
 
@@ -138,13 +148,19 @@ def trace_from_records(query_id: str,
 def hedge_candidates(elapsed_by_fragment: dict[int, float],
                      completed_durations: list[float], total: int,
                      factor: float = 3.0, quorum: float = 0.5,
-                     min_wait_s: float = 0.5) -> list[int]:
+                     min_wait_s: float = 0.5, now: float | None = None,
+                     pipeline: str | None = None) -> list[int]:
     """Straggler detection for speculative re-execution.
 
     A fragment qualifies once a quorum of its stage has completed and
     its elapsed time exceeds ``factor`` x the median completed duration
     (never less than ``min_wait_s``). This is the live-span analogue of
     :meth:`QueryTrace.stragglers`, usable while the stage is running.
+
+    When a telemetry recorder is active and ``now`` is given, each scan
+    that names candidates is recorded as a ``hedge.candidates`` event, so
+    speculative-execution triggers are visible in traces, not only in
+    final reports.
     """
     if not completed_durations:
         return []
@@ -153,6 +169,15 @@ def hedge_candidates(elapsed_by_fragment: dict[int, float],
         return []
     median = float(np.median(completed_durations))
     threshold = max(min_wait_s, factor * median)
-    return sorted(fragment
-                  for fragment, elapsed in elapsed_by_fragment.items()
-                  if elapsed > threshold)
+    candidates = sorted(fragment
+                        for fragment, elapsed in elapsed_by_fragment.items()
+                        if elapsed > threshold)
+    if candidates and now is not None:
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.event(
+                now, "hedge.candidates", category="recovery",
+                pipeline=pipeline, fragments=candidates,
+                median_s=median, threshold_s=threshold,
+                completed=len(completed_durations), total=total)
+    return candidates

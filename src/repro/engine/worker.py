@@ -26,6 +26,7 @@ from repro.faas.function import FunctionContext
 from repro.formats.batch import RecordBatch
 from repro.formats.columnar import read_file
 from repro.storage.base import StorageService
+from repro.telemetry import get_recorder
 
 
 @dataclass
@@ -87,6 +88,17 @@ def _execute_fragment(runtime: WorkerRuntime, context: FunctionContext,
     base_io = IoStack(env, base_storage, context.endpoint)
     shuffle_io = IoStack(env, shuffle_storage, context.endpoint)
     phases: dict[str, float] = {}
+    recorder = get_recorder()
+    wspan = None
+    if recorder.enabled:
+        wspan = recorder.start_span(
+            f"worker {pipeline.id}/{fragment}", env.now,
+            parent=context.trace_ctx, category="worker",
+            attrs={"pipeline": pipeline.id, "fragment": fragment,
+                   "attempt": payload.get("attempt", 0),
+                   "hedged": payload.get("hedged", False)})
+        base_io.span = wspan
+        shuffle_io.span = wspan
 
     # Synchronization barrier: all fragments of the pipeline rendezvous
     # before consuming their source (isolates the subflow for timing).
@@ -119,14 +131,31 @@ def _execute_fragment(runtime: WorkerRuntime, context: FunctionContext,
             payload["producer_fragments"], fragment)
         sides.update(shuffle_sides)
         phases["shuffle_read"] = env.now - started
+    if wspan is not None:
+        recorder.record_span(
+            "phase " + ("scan" if isinstance(pipeline.source, TableSource)
+                        else "shuffle_read"),
+            started, env.now, parent=wspan, category="phase")
 
     # Operator chain.
     compute_started = env.now
     for operator in pipeline.operators:
+        op_started = env.now
+        rows_in = len(batch) if wspan is not None else 0
+        bytes_in = batch.logical_bytes
         yield context.compute(runtime.cost_model.cpu_seconds(
             operator.cost_class, batch.logical_bytes))
         batch = operator.execute(batch, sides)
+        if wspan is not None:
+            recorder.record_span(
+                type(operator).__name__, op_started, env.now, parent=wspan,
+                category="operator",
+                attrs={"rows_in": rows_in, "rows_out": len(batch),
+                       "bytes_in": bytes_in})
     phases["compute"] = env.now - compute_started
+    if wspan is not None:
+        recorder.record_span("phase compute", compute_started, env.now,
+                             parent=wspan, category="phase")
 
     # Sink.
     sink_started = env.now
@@ -147,6 +176,9 @@ def _execute_fragment(runtime: WorkerRuntime, context: FunctionContext,
         yield from shuffle_io.write_object(
             out_key, write_file(batch), max(batch.logical_bytes, 1.0))
     phases["write"] = env.now - sink_started
+    if wspan is not None:
+        recorder.record_span("phase write", sink_started, env.now,
+                             parent=wspan, category="phase")
 
     # Request-handling CPU overhead.
     total_requests = base_io.stats.requests + shuffle_io.stats.requests
@@ -154,6 +186,13 @@ def _execute_fragment(runtime: WorkerRuntime, context: FunctionContext,
     if overhead > 0:
         yield context.compute(overhead)
 
+    if wspan is not None:
+        wspan.finish(
+            env.now, rows_out=len(batch), requests=total_requests,
+            bytes_read=(base_io.stats.bytes_read
+                        + shuffle_io.stats.bytes_read),
+            bytes_written=(base_io.stats.bytes_written
+                           + shuffle_io.stats.bytes_written))
     return WorkerReport(
         pipeline=pipeline.id, fragment=fragment, rows_out=len(batch),
         requests=total_requests,

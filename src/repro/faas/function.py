@@ -100,6 +100,10 @@ class FunctionContext:
     cold: bool
     region: str = "us-east-1"
     trace: dict[str, float] = field(default_factory=dict)
+    #: Telemetry span context of the platform's invoke span (a
+    #: :class:`repro.telemetry.Span` or ``None`` when not recording);
+    #: handlers parent their own spans under it.
+    trace_ctx: Any = None
 
     @property
     def vcpus(self) -> float:

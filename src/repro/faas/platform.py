@@ -22,6 +22,7 @@ from repro.faas.function import FunctionConfig, FunctionContext, InvocationRecor
 from repro.faas.regions import REGIONS, RegionProfile
 from repro.faas.sandbox import Sandbox
 from repro.faas.scaling import ConcurrencyScaler
+from repro.telemetry import get_recorder
 
 #: Placement overhead of creating a fresh environment (seconds).
 COLDSTART_PLACEMENT_S = 0.060
@@ -80,6 +81,31 @@ class LambdaPlatform:
         #: anything with the same ``on_invoke``/``on_place`` surface).
         #: ``None`` means no injection — the default, fault-free path.
         self.fault_injector = None
+        recorder = get_recorder()
+        self._telemetry = recorder if recorder.enabled else None
+        if self._telemetry is not None:
+            self._cold_counter = recorder.counter("lambda.cold_starts")
+            self._warm_counter = recorder.counter("lambda.warm_starts")
+            self._concurrent_gauge = recorder.gauge("lambda.concurrent")
+            self._concurrent_series = recorder.timeseries(
+                "lambda.concurrent", min_dt=0.001)
+            self._sandbox_serials: dict[int, int] = {}
+
+    def _note_busy(self) -> None:
+        """Sample the concurrency watermark after a busy-count change."""
+        self._concurrent_gauge.set(float(self._busy))
+        self._concurrent_series.sample(self.env.now, float(self._busy))
+
+    def _sandbox_tag(self, sandbox: Sandbox) -> int:
+        """Dense per-platform serial for a sandbox, for telemetry attrs.
+
+        ``Sandbox.id`` comes from a process-global counter, so its value
+        depends on every sandbox ever created in the process. Trace
+        artifacts must be a function of the simulation alone, so spans
+        and events carry this platform-local serial instead.
+        """
+        return self._sandbox_serials.setdefault(
+            sandbox.id, len(self._sandbox_serials))
 
     # -- deployment ----------------------------------------------------------
 
@@ -134,6 +160,18 @@ class LambdaPlatform:
 
     def _invoke(self, name: str, payload: Any, requested_at: float):
         config = self.function(name)
+        span = None
+        if self._telemetry is not None:
+            parent = payload.get("trace") if isinstance(payload, dict) else None
+            attrs = {"function": name}
+            if isinstance(payload, dict):
+                if "attempt" in payload:
+                    attrs["attempt"] = payload["attempt"]
+                if "hedged" in payload:
+                    attrs["hedged"] = payload["hedged"]
+            span = self._telemetry.start_span(
+                f"invoke {name}", requested_at, parent=parent,
+                category="faas", attrs=attrs)
         # Chaos hook: one fault (at most) may strike this invocation.
         fault = None
         if self.fault_injector is not None:
@@ -147,18 +185,27 @@ class LambdaPlatform:
         while not self.scaler.admit(self._busy, self.env.now):
             yield self.env.timeout(ADMISSION_RETRY_S)
         self._busy += 1
+        if self._telemetry is not None:
+            self._note_busy()
         sandbox, cold = self._assign(config)
         sandbox.busy = True
         try:
+            startup_began = self.env.now
             if cold:
                 yield self.env.timeout(self._coldstart_duration(config))
             else:
                 yield self.env.timeout(WARMSTART_S)
             started_at = self.env.now
+            if self._telemetry is not None:
+                (self._cold_counter if cold else self._warm_counter).inc()
+                self._telemetry.record_span(
+                    "coldstart" if cold else "warmstart",
+                    startup_began, started_at, parent=span, category="faas",
+                    attrs={"sandbox_id": self._sandbox_tag(sandbox)})
             context = FunctionContext(
                 env=self.env, platform=self, config=config,
                 endpoint=sandbox.endpoint, sandbox_id=sandbox.id,
-                cold=cold, region=self.region.name)
+                cold=cold, region=self.region.name, trace_ctx=span)
             response = None
             error: Optional[BaseException] = None
             if fault is not None and fault.kind == "worker_crash":
@@ -194,6 +241,10 @@ class LambdaPlatform:
                 requested_at=requested_at, started_at=started_at,
                 finished_at=self.env.now, response=response, error=error)
             self.records.append(record)
+            if span is not None:
+                span.finish(self.env.now, cold=cold,
+                            sandbox_id=self._sandbox_tag(sandbox),
+                            ok=error is None)
             return record
         finally:
             sandbox.busy = False
@@ -201,6 +252,8 @@ class LambdaPlatform:
             sandbox.invocations += 1
             self._warm[name].append(sandbox)
             self._busy -= 1
+            if self._telemetry is not None:
+                self._note_busy()
 
     # -- warm pools ----------------------------------------------------------
 
@@ -227,6 +280,8 @@ class LambdaPlatform:
                 stats["skipped"] += 1
                 continue
             self._busy += 1
+            if self._telemetry is not None:
+                self._note_busy()
             sandbox, cold = self._assign(self.function(name))
             sandbox.busy = True
             stats["misses" if cold else "hits"] += 1
@@ -256,6 +311,8 @@ class LambdaPlatform:
             sandbox.invocations += 1
             self._warm[name].append(sandbox)
             self._busy -= 1
+            if self._telemetry is not None:
+                self._note_busy()
 
     # -- assignment / placement -------------------------------------------------
 
@@ -286,8 +343,16 @@ class LambdaPlatform:
         idle_lifetime = float(self._rng.lognormal(
             mean=math.log(IDLE_LIFETIME_MEDIAN_S),
             sigma=IDLE_LIFETIME_SIGMA))
-        return Sandbox(function=config.name, endpoint=endpoint,
-                       created_at=self.env.now, idle_lifetime=idle_lifetime)
+        sandbox = Sandbox(function=config.name, endpoint=endpoint,
+                          created_at=self.env.now,
+                          idle_lifetime=idle_lifetime)
+        if self._telemetry is not None:
+            self._telemetry.counter("lambda.sandboxes_placed").value += 1
+            self._telemetry.event(
+                self.env.now, "sandbox.placed", category="faas",
+                function=config.name,
+                sandbox_id=self._sandbox_tag(sandbox))
+        return sandbox
 
     def _coldstart_duration(self, config: FunctionConfig) -> float:
         base = (COLDSTART_PLACEMENT_S

@@ -23,6 +23,13 @@ import math
 from dataclasses import dataclass
 
 from repro import units
+from repro.telemetry import get_recorder
+
+#: Minimum virtual-time spacing between telemetry samples of a shaper's
+#: bucket level / allowed rate. The fabric can advance a shaper many
+#: times per grant interval; 2 ms resolves the 100 ms grant sawtooth of
+#: Figure 5 while keeping series bounded.
+_SAMPLE_MIN_DT = 0.002
 
 
 #: Bucket levels below this many bytes are clamped to zero; float residue
@@ -63,7 +70,8 @@ class TokenBucketShaper:
                  one_off_budget: float = 0.0,
                  idle_refill_level: float | None = None,
                  grant_interval: float = 0.1,
-                 initial_level: float | None = None) -> None:
+                 initial_level: float | None = None,
+                 name: str | None = None) -> None:
         if mode not in ("continuous", "quantized"):
             raise ValueError(f"unknown shaper mode {mode!r}")
         if capacity < 0 or burst_rate <= 0 or refill_rate < 0:
@@ -84,6 +92,23 @@ class TokenBucketShaper:
         self._next_grant_at = self.grant_interval
         #: When the shaper last went idle (None while active).
         self._idle_since: float | None = None
+        # Telemetry is captured at construction: enable() must precede
+        # simulation setup. Disabled recorders cost one None-check here.
+        recorder = get_recorder()
+        if recorder.enabled:
+            self._telemetry = recorder
+            label = recorder.unique_name(f"shaper.{name or mode}")
+            self.telemetry_name = label
+            self._level_series = recorder.timeseries(
+                f"{label}.level", min_dt=_SAMPLE_MIN_DT)
+            self._rate_series = recorder.timeseries(
+                f"{label}.allowed_rate", min_dt=_SAMPLE_MIN_DT)
+            self._throttle_counter = recorder.counter(
+                "shaper.throttle_transitions")
+            self._was_throttled = self.budget <= 0
+        else:
+            self._telemetry = None
+            self.telemetry_name = name or mode
 
     # -- inspection ---------------------------------------------------------
 
@@ -144,6 +169,17 @@ class TokenBucketShaper:
             self._level = 0.0
         if self.one_off_remaining < _EPSILON_BYTES:
             self.one_off_remaining = 0.0
+        if self._telemetry is not None:
+            self._level_series.sample(now, self._level)
+            self._rate_series.sample(now, self.allowed_rate())
+            throttled = self.budget <= 0
+            if throttled != self._was_throttled:
+                self._was_throttled = throttled
+                self._throttle_counter.value += 1
+                self._telemetry.event(
+                    now, "shaper.throttled" if throttled
+                    else "shaper.recovered",
+                    category="network", shaper=self.telemetry_name)
 
     def _grants_between(self, start: float, end: float) -> float:
         """Bytes granted by quantized refill up to time ``end``.
@@ -242,7 +278,8 @@ LAMBDA_BASELINE_RATE = 75 * units.MiB
 LAMBDA_GRANT_INTERVAL = 0.1
 
 
-def lambda_shaper(direction: str = "in") -> TokenBucketShaper:
+def lambda_shaper(direction: str = "in",
+                  name: str | None = None) -> TokenBucketShaper:
     """Shaper calibrated to the Lambda network model of Section 4.2."""
     if direction not in ("in", "out"):
         raise ValueError(f"direction must be 'in' or 'out', got {direction!r}")
@@ -256,11 +293,13 @@ def lambda_shaper(direction: str = "in") -> TokenBucketShaper:
         idle_refill_level=LAMBDA_BUCKET_CAPACITY,
         grant_interval=LAMBDA_GRANT_INTERVAL,
         initial_level=LAMBDA_BUCKET_CAPACITY,
+        name=name or f"lambda/{direction}",
     )
 
 
 def ec2_shaper(baseline_rate: float, burst_rate: float,
-               bucket_bytes: float) -> TokenBucketShaper:
+               bucket_bytes: float,
+               name: str | None = None) -> TokenBucketShaper:
     """EC2-style shaper: continuous refill at baseline, drain at burst."""
     return TokenBucketShaper(
         capacity=bucket_bytes,
@@ -268,4 +307,5 @@ def ec2_shaper(baseline_rate: float, burst_rate: float,
         refill_rate=baseline_rate,
         mode="continuous",
         initial_level=bucket_bytes,
+        name=name or "ec2",
     )

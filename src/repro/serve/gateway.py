@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.serve.metrics import ServingMetrics
+from repro.telemetry import get_recorder
 
 
 @dataclass(frozen=True)
@@ -84,6 +85,13 @@ class QueryGateway:
         self._seq = itertools.count()
         #: Scheduler hook, called after every successful admission.
         self.on_submit: Optional[Callable[[], None]] = None
+        recorder = get_recorder()
+        self._telemetry = recorder if recorder.enabled else None
+        if self._telemetry is not None:
+            self._depth_gauge = recorder.gauge("gateway.queue_depth")
+            self._depth_series = recorder.timeseries(
+                "gateway.queue_depth", min_dt=0.001)
+            self._shed_counter = recorder.counter("gateway.shed")
 
     # -- tenancy -----------------------------------------------------------
 
@@ -110,14 +118,27 @@ class QueryGateway:
         if (len(queue) >= tenant.max_queue_depth
                 or self.total_pending >= self.max_pending):
             self.metrics.record_shed(tenant_name, self.env.now)
+            if self._telemetry is not None:
+                self._shed_counter.inc()
+                self._telemetry.event(
+                    self.env.now, "gateway.shed", category="serving",
+                    tenant=tenant_name, queue_depth=len(queue),
+                    total_pending=self.total_pending)
             return None
         request = QueryRequest(
             tenant=tenant_name, plan=plan, submitted_at=self.env.now,
             seq=next(self._seq), priority=tenant.priority)
         queue.append(request)
+        if self._telemetry is not None:
+            self._note_depth()
         if self.on_submit is not None:
             self.on_submit()
         return request
+
+    def _note_depth(self) -> None:
+        depth = float(self.total_pending)
+        self._depth_gauge.set(depth)
+        self._depth_series.sample(self.env.now, depth)
 
     # -- queue access (scheduler side) -------------------------------------
 
@@ -137,4 +158,7 @@ class QueryGateway:
 
     def pop(self, tenant_name: str) -> QueryRequest:
         """Remove and return the oldest queued request of a tenant."""
-        return self.queues[tenant_name].popleft()
+        request = self.queues[tenant_name].popleft()
+        if self._telemetry is not None:
+            self._note_depth()
+        return request

@@ -24,6 +24,7 @@ from repro.serve.scheduler import (
     make_policy,
 )
 from repro.serve.warm_pool import WarmPoolManager, WarmPoolStats
+from repro.telemetry.export import canonical_json
 from repro.workloads.suite import SuiteSetup, build_plan, setup_engine
 from repro.workloads.traffic import poisson_arrivals
 
@@ -149,6 +150,19 @@ class ServingOutcome:
             out[f"{name}.failed"] = report.failed
             out[f"{name}.recovered"] = report.recovered
         return out
+
+    def to_json(self) -> str:
+        """Canonical JSON artifact (byte-stable for a fixed seed+mix).
+
+        Uses the shared :func:`repro.telemetry.export.canonical_json`
+        writer, so serving artifacts follow the same sorted-key,
+        rounded-float convention as chaos resilience reports and
+        telemetry snapshots.
+        """
+        payload = dict(self.summary())
+        payload["window_s"] = self.window_s
+        payload["seed"] = self.seed
+        return canonical_json(payload)
 
 
 def run_serving_workload(workloads: list[TenantWorkload],

@@ -26,6 +26,14 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        self._monitor: Optional[Any] = None
+
+    def set_monitor(self, monitor: Optional[Any]) -> None:
+        """Install a passive observer (``on_event(now, queue_depth)`` and
+        ``on_process(name)``); it must never schedule events or touch the
+        clock. The kernel stays import-free of any telemetry package —
+        recorders attach themselves through this hook."""
+        self._monitor = monitor
 
     @property
     def now(self) -> float:
@@ -55,6 +63,8 @@ class Environment:
     def process(self, generator: Generator[Event, Any, Any],
                 name: Optional[str] = None) -> Process:
         """Start a new process executing ``generator``."""
+        if self._monitor is not None:
+            self._monitor.on_process(name)
         return Process(self, generator, name=name)
 
     def all_of(self, events) -> AllOf:
@@ -84,6 +94,8 @@ class Environment:
         except IndexError:
             raise EmptySchedule("no more events scheduled") from None
         self._now = when
+        if self._monitor is not None:
+            self._monitor.on_event(when, len(self._queue))
         callbacks = event.callbacks
         event.callbacks = None
         for callback in callbacks:

@@ -30,6 +30,7 @@ from repro.network.fabric import Endpoint, Fabric, FluidLink
 from repro.sim import Environment, RandomStreams
 from repro.storage.errors import NoSuchKey
 from repro.storage.latency import LatencyModel
+from repro.telemetry import get_recorder
 
 
 class RequestType(enum.Enum):
@@ -62,6 +63,10 @@ class RequestStats:
     counts: dict[tuple[str, str], int] = field(default_factory=dict)
     bytes_read: float = 0.0
     bytes_written: float = 0.0
+    #: Optional observer ``(op, outcome, count, nbytes)`` invoked on every
+    #: record — the telemetry recorder hooks in here so one accounting
+    #: site feeds both cost reporting and metrics.
+    on_record: Optional[Any] = None
 
     def record(self, op: RequestType, outcome: str, count: int = 1,
                nbytes: float = 0.0) -> None:
@@ -73,6 +78,8 @@ class RequestStats:
                 self.bytes_read += nbytes
             else:
                 self.bytes_written += nbytes
+        if self.on_record is not None:
+            self.on_record(op, outcome, count, nbytes)
 
     def total(self, op: Optional[RequestType] = None,
               outcome: Optional[str] = None) -> int:
@@ -148,6 +155,23 @@ class StorageService:
         #: Chaos hook: ``hook(op, key, now)`` returning an error to
         #: inject for this request, or ``None``. Default: no injection.
         self.fault_hook = None
+        recorder = get_recorder()
+        self._telemetry = recorder if recorder.enabled else None
+        if self._telemetry is not None:
+            self.stats.on_record = self._record_metric
+
+    def _record_metric(self, op: RequestType, outcome: str, count: int,
+                       nbytes: float) -> None:
+        """Telemetry observer wired into :class:`RequestStats`."""
+        if count <= 0:
+            return
+        recorder = self._telemetry
+        recorder.counter(
+            f"storage.{self.name}.{op.value}.{outcome}").value += count
+        if outcome in ("throttled", "timeout", "injected-fault"):
+            recorder.event(self.env.now, f"storage.{outcome}",
+                           category="storage", service=self.name,
+                           op=op.value, count=count)
 
     # -- discrete request path ----------------------------------------------
 

@@ -26,6 +26,7 @@ The model here:
 from __future__ import annotations
 
 import hashlib
+from collections import deque
 from dataclasses import dataclass, field
 
 #: Documented per-prefix-partition request rates (requests/second) [34].
@@ -64,6 +65,9 @@ FULL_MERGE_IDLE_S = 4.5 * 86_400.0
 
 #: Partitions kept after the first (partial) merge step.
 PARTITIONS_AFTER_FIRST_MERGE = 2
+
+#: Sliding window for the discrete-path admitted-IOPS estimate.
+IOPS_WINDOW_S = 1.0
 
 
 def key_point(key: str) -> float:
@@ -142,6 +146,51 @@ class PartitionTree:
         self.split_count = 0
         self.merge_count = 0
         self._last_split_at = float("-inf")
+        #: Telemetry recorder + metric-name prefix, injected by the owning
+        #: service via :meth:`enable_telemetry` (the tree itself has no
+        #: clock or service identity). ``None`` => recording disabled.
+        self.telemetry = None
+        self.telemetry_prefix = "partitions"
+        #: Per-partition admit timestamps inside the sliding IOPS window,
+        #: keyed by ``(id(partition), direction)``.
+        self._admit_log: dict[tuple[int, str], deque] = {}
+
+    def enable_telemetry(self, recorder, prefix: str) -> None:
+        """Record per-prefix admission decisions/levels under ``prefix``."""
+        self.telemetry = recorder
+        self.telemetry_prefix = prefix
+
+    def _sample_partition(self, partition: Partition, now: float) -> None:
+        """Per-prefix token/IOPS time series, named by partition index."""
+        index = self.partitions.index(partition)
+        base = f"{self.telemetry_prefix}.p{index}"
+        self.telemetry.timeseries(f"{base}.read_tokens",
+                                  min_dt=0.005).sample(
+            now, partition.read_tokens)
+        self.telemetry.timeseries(f"{base}.write_tokens",
+                                  min_dt=0.005).sample(
+            now, partition.write_tokens)
+
+    def _sample_iops(self, partition: Partition, direction: str,
+                     now: float) -> None:
+        """Sliding-window admitted-rate estimate for the discrete path."""
+        log = self._admit_log.setdefault((id(partition), direction), deque())
+        log.append(now)
+        cutoff = now - IOPS_WINDOW_S
+        while log and log[0] < cutoff:
+            log.popleft()
+        index = self.partitions.index(partition)
+        self.telemetry.timeseries(
+            f"{self.telemetry_prefix}.p{index}.{direction}_iops",
+            min_dt=0.05).sample(now, len(log) / IOPS_WINDOW_S)
+
+    def _note_resize(self, now: float, kind: str) -> None:
+        self.telemetry.event(now, f"partition.{kind}", category="storage",
+                             prefix=self.telemetry_prefix,
+                             partitions=len(self.partitions))
+        self.telemetry.timeseries(
+            f"{self.telemetry_prefix}.partition_count").sample(
+            now, float(len(self.partitions)))
 
     def _fresh(self, low: float, high: float) -> Partition:
         return Partition(low=low, high=high, read_quota=self.read_quota,
@@ -181,14 +230,25 @@ class PartitionTree:
         partition = self.partition_for(key)
         partition.refresh_tokens(now)
         tokens = partition.read_tokens if is_read else partition.write_tokens
+        direction = "read" if is_read else "write"
         if tokens < 1.0:
             # Heavy discrete traffic also counts toward heat/busy state.
             self._note_pressure(partition, now)
+            if self.telemetry is not None:
+                self.telemetry.counter(
+                    f"{self.telemetry_prefix}.{direction}.throttled"
+                ).value += 1
+                self._sample_partition(partition, now)
             return False
         if is_read:
             partition.read_tokens -= 1.0
         else:
             partition.write_tokens -= 1.0
+        if self.telemetry is not None:
+            self.telemetry.counter(
+                f"{self.telemetry_prefix}.{direction}.admitted").value += 1
+            self._sample_partition(partition, now)
+            self._sample_iops(partition, direction, now)
         return True
 
     def _note_pressure(self, partition: Partition, now: float) -> None:
@@ -208,7 +268,7 @@ class PartitionTree:
         self.maybe_merge(now)
         accepted_r = rejected_r = accepted_w = rejected_w = 0.0
         ripe: list[Partition] = []
-        for partition in self.partitions:
+        for index, partition in enumerate(self.partitions):
             offered_r = read_iops * partition.width
             offered_w = write_iops * partition.width
             ok_r = min(offered_r, partition.read_quota)
@@ -217,6 +277,10 @@ class PartitionTree:
             rejected_r += offered_r - ok_r
             accepted_w += ok_w
             rejected_w += offered_w - ok_w
+            if self.telemetry is not None:
+                self.telemetry.timeseries(
+                    f"{self.telemetry_prefix}.p{index}.read_iops",
+                    min_dt=1.0).sample(now, ok_r)
             read_util = offered_r / partition.read_quota
             write_util = offered_w / partition.write_quota
             # Heat and busy credit decay with *wall time* since the last
@@ -252,6 +316,8 @@ class PartitionTree:
             self.retile(self.partition_count + 1, now)
             self.split_count += 1
             self._last_split_at = now
+            if self.telemetry is not None:
+                self._note_resize(now, "split")
         return FluidStep(accepted_read=accepted_r, rejected_read=rejected_r,
                          accepted_write=accepted_w, rejected_write=rejected_w)
 
@@ -269,6 +335,8 @@ class PartitionTree:
         index = self.partitions.index(partition)
         self.partitions[index:index + 1] = [left, right]
         self.split_count += 1
+        if self.telemetry is not None:
+            self._note_resize(now, "split")
         return left, right
 
     def maybe_merge(self, now: float) -> None:
@@ -282,9 +350,13 @@ class PartitionTree:
             merged.tokens_updated_at = now
             self.merge_count += len(self.partitions) - 1
             self.partitions = [merged]
+            if self.telemetry is not None:
+                self._note_resize(now, "merge")
         elif (idle >= self.first_merge_idle_s
               and len(self.partitions) > PARTITIONS_AFTER_FIRST_MERGE):
             self._collapse_to(PARTITIONS_AFTER_FIRST_MERGE, now)
+            if self.telemetry is not None:
+                self._note_resize(now, "merge")
 
     def _collapse_to(self, target: int, now: float) -> None:
         """Merge adjacent partitions until only ``target`` remain."""

@@ -54,6 +54,9 @@ class S3Standard(StorageService):
                          read_bandwidth=None, write_bandwidth=None,
                          max_item_size=S3_MAX_OBJECT_SIZE)
         self.partitions = partitions if partitions is not None else PartitionTree()
+        if self._telemetry is not None:
+            self.partitions.enable_telemetry(
+                self._telemetry, f"storage.{self.name}.prefix")
 
     @property
     def partition_count(self) -> int:

@@ -1,0 +1,149 @@
+"""Typed metric instruments stamped on the virtual clock.
+
+Three instrument kinds cover every telemetry need of the simulation:
+
+* :class:`Counter` — a monotonically increasing count (events processed,
+  cold starts, ``SlowDown`` emissions);
+* :class:`Gauge` — a last-value-wins level with a high-watermark
+  (concurrent executions, queue depth);
+* :class:`TimeSeries` — (virtual-time, value) samples with optional
+  minimum sample spacing and a hard point cap, so high-frequency probes
+  (a token bucket draining during Figure 5) stay bounded in memory.
+
+Instruments are created lazily through a :class:`MetricRegistry` and are
+identified by dotted names (``lambda.cold_starts``,
+``shaper.sandbox-worker/in#0.level``). All state is plain Python — no
+clock reads, no RNG, no events — so recording can never perturb the
+simulation it observes.
+"""
+
+from __future__ import annotations
+
+#: Default cap on stored samples per time series. Beyond it, samples are
+#: counted in ``dropped`` instead of stored, so a runaway probe cannot
+#: exhaust memory.
+DEFAULT_MAX_POINTS = 8_192
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1) to the count."""
+        self.value += n
+
+
+class Gauge:
+    """Last-observed level plus its high-watermark."""
+
+    __slots__ = ("name", "value", "peak")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.peak = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level (and update the watermark)."""
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+
+class TimeSeries:
+    """(t, value) samples on the virtual clock.
+
+    ``min_dt`` drops samples closer than that to the previous *kept*
+    sample (value changes are still visible at the next kept sample);
+    ``max_points`` caps storage, counting overflow in :attr:`dropped`.
+    """
+
+    __slots__ = ("name", "min_dt", "max_points", "points", "dropped",
+                 "_last_t")
+
+    def __init__(self, name: str, min_dt: float = 0.0,
+                 max_points: int = DEFAULT_MAX_POINTS) -> None:
+        self.name = name
+        self.min_dt = min_dt
+        self.max_points = max_points
+        self.points: list[tuple[float, float]] = []
+        self.dropped = 0
+        self._last_t = float("-inf")
+
+    def sample(self, t: float, value: float) -> None:
+        """Record ``value`` at virtual time ``t`` (subject to spacing/cap)."""
+        if t - self._last_t < self.min_dt:
+            self.dropped += 1
+            return
+        if len(self.points) >= self.max_points:
+            self.dropped += 1
+            return
+        self.points.append((t, value))
+        self._last_t = t
+
+    @property
+    def last(self) -> float | None:
+        """Most recent sampled value, or ``None`` if empty."""
+        return self.points[-1][1] if self.points else None
+
+    def values(self) -> list[float]:
+        """The sampled values, in time order."""
+        return [v for _, v in self.points]
+
+    def times(self) -> list[float]:
+        """The sample timestamps, in time order."""
+        return [t for t, _ in self.points]
+
+
+class MetricRegistry:
+    """Lazily creates and caches instruments by dotted name."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.series: dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def timeseries(self, name: str, min_dt: float = 0.0,
+                   max_points: int = DEFAULT_MAX_POINTS) -> TimeSeries:
+        """The time series called ``name`` (created on first use).
+
+        ``min_dt``/``max_points`` only apply at creation time; later
+        lookups return the existing series unchanged.
+        """
+        instrument = self.series.get(name)
+        if instrument is None:
+            instrument = self.series[name] = TimeSeries(
+                name, min_dt=min_dt, max_points=max_points)
+        return instrument
+
+    def snapshot(self) -> dict:
+        """JSON-ready dict of every instrument's current state."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self.counters.items())},
+            "gauges": {name: {"value": g.value, "peak": g.peak}
+                       for name, g in sorted(self.gauges.items())},
+            "series": {name: {"points": [[t, v] for t, v in s.points],
+                              "dropped": s.dropped}
+                       for name, s in sorted(self.series.items())},
+        }

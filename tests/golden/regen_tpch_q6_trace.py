@@ -1,0 +1,28 @@
+"""Regenerate the golden Chrome-trace file for TPC-H Q6.
+
+Run after an *intentional* change to the trace format or the simulated
+timing, then review the diff::
+
+    PYTHONPATH=src python tests/golden/regen_tpch_q6_trace.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+
+from test_telemetry_export import GOLDEN, record_q6  # noqa: E402
+
+from repro.telemetry import canonical_json, chrome_trace  # noqa: E402
+
+
+def main() -> None:
+    _, recorder = record_q6()
+    GOLDEN.parent.mkdir(exist_ok=True)
+    GOLDEN.write_text(canonical_json(chrome_trace(recorder)) + "\n")
+    print(f"wrote {GOLDEN} ({GOLDEN.stat().st_size} bytes, "
+          f"{len(recorder.spans)} spans)")
+
+
+if __name__ == "__main__":
+    main()
