@@ -11,6 +11,7 @@ JSON results come out, and the plotter renders what it can. Usage::
     python -m repro chaos --plan demo-outage  # fault-injected suite run
     python -m repro trace --query tpch-q12    # Perfetto trace of one query
     python -m repro metrics --query tpch-q12  # telemetry dashboard
+    python -m repro lint --strict             # determinism/architecture gate
 """
 
 from __future__ import annotations
@@ -198,7 +199,18 @@ def _run_metrics(args) -> int:
     return 0
 
 
+def _run_lint(args) -> int:
+    """Run the determinism/architecture static-analysis pass."""
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def _run_configs(configs, output_dir: Path, plot: bool) -> int:
+    # Registers the "query" experiment kind with the Driver (the core
+    # layer never imports upward; see repro.lint.layer_dag).
+    from repro.workloads import suite as _suite  # noqa: F401
+
     driver = Driver()
     for config in configs:
         print(f"running {config.name} ({config.kind}) ...", flush=True)
@@ -279,7 +291,14 @@ def main(argv: list[str] | None = None) -> int:
                          help="RNG seed (fixed seed -> identical metrics)")
     metrics.add_argument("--json", action="store_true",
                          help="print the canonical JSON metrics snapshot")
+    lint = commands.add_parser(
+        "lint", help="static analysis: determinism bans + layer contract")
+    from repro.lint.cli import add_lint_arguments
+    add_lint_arguments(lint)
     args = parser.parse_args(argv)
+
+    if args.command == "lint":
+        return _run_lint(args)
 
     if args.command == "serve":
         return _run_serve(args)

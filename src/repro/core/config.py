@@ -11,6 +11,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.telemetry.export import canonical_json
+
 #: Known experiment kinds, mirroring Table 3's driver column.
 EXPERIMENT_KINDS = (
     "network-burst",        # Figure 5: single-function burst profile
@@ -44,12 +46,12 @@ class ExperimentConfig:
             raise ValueError("repetitions must be >= 1")
 
     def to_json(self) -> str:
-        """Serialize to a JSON string."""
-        return json.dumps({
+        """Serialize to byte-stable JSON (sorted keys, indent=2)."""
+        return canonical_json({
             "name": self.name, "kind": self.kind,
             "parameters": self.parameters,
             "repetitions": self.repetitions, "seed": self.seed,
-        }, indent=2)
+        })
 
     @classmethod
     def from_json(cls, raw: str) -> "ExperimentConfig":

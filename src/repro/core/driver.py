@@ -32,14 +32,31 @@ from repro.storage.base import RequestType
 class Driver:
     """Executes experiment configurations on fresh simulated environments."""
 
+    #: Experiment kinds contributed by higher layers. The driver never
+    #: imports upward (see ``repro.lint.layer_dag``): a layer that owns
+    #: a kind registers its handler here at import time, in the style
+    #: of ``Environment.set_monitor`` — e.g. ``repro.workloads.suite``
+    #: registers ``"query"``.
+    _external_kinds: dict = {}
+
     def __init__(self, base_seed: int = 0) -> None:
         self.base_seed = base_seed
+
+    @classmethod
+    def register_kind(cls, kind: str, handler) -> None:
+        """Register ``handler(sim, config, result)`` for ``kind``."""
+        cls._external_kinds[kind] = handler
 
     def run(self, config: ExperimentConfig) -> ExperimentResult:
         """Execute ``config`` and return its result record."""
         handler = getattr(self, "_run_" + config.kind.replace("-", "_"), None)
         if handler is None:
-            raise ValueError(f"driver cannot run kind {config.kind!r}")
+            handler = self._external_kinds.get(config.kind)
+        if handler is None:
+            raise ValueError(
+                f"driver cannot run kind {config.kind!r}; external kinds "
+                f"register via Driver.register_kind (the 'query' kind "
+                f"lives in repro.workloads.suite)")
         result = ExperimentResult(name=config.name, kind=config.kind,
                                   parameters=dict(config.parameters))
         sim = CloudSim(seed=self.base_seed + config.seed,
@@ -167,8 +184,3 @@ class Driver:
             for gap, fraction in lifetimes.items():
                 result.metrics[f"warm_after_{int(gap)}s"] = fraction
 
-    def _run_query(self, sim, config, result) -> None:
-        # Query experiments are orchestrated by repro.workloads, which
-        # needs dataset setup; the driver delegates.
-        from repro.workloads.suite import run_query_experiment
-        run_query_experiment(sim, config, result)

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.telemetry.export import canonical_json
+
 
 @dataclass
 class ExperimentResult:
@@ -44,10 +46,10 @@ class ExperimentResult:
         }
 
     def save(self, path: str | Path) -> Path:
-        """Write the result as pretty-printed JSON."""
+        """Write the result as byte-stable pretty-printed JSON."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_dict(), indent=2))
+        path.write_text(canonical_json(self.to_dict()))
         return path
 
     @classmethod

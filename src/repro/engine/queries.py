@@ -231,7 +231,8 @@ def _bb_q3_sessionize(batch: RecordBatch, sides: dict) -> RecordBatch:
             current_user = user
             window = []
         if sales[row] > 0 and category.get(items[row]) == BB_Q3_CATEGORY:
-            emitted.extend(set(window[-BB_Q3_LOOKBACK:]))
+            # sorted(): the dedup set would otherwise emit in hash order.
+            emitted.extend(sorted(set(window[-BB_Q3_LOOKBACK:])))
         window.append(int(items[row]))
     schema = Schema([Field("item_sk", DataType.INT64)])
     return RecordBatch(schema,

@@ -72,7 +72,10 @@ class FileMetadata:
             "row_groups": [[chunk.to_dict() for chunk in group]
                            for group in self.row_groups],
         }
-        return json.dumps(payload).encode("utf-8")
+        # Simulated wire format, not an artifact: the compact footer's
+        # byte size models S3 object sizes, and canonical_json's indent
+        # would inflate every simulated transfer.
+        return json.dumps(payload).encode("utf-8")  # repro-lint: disable=ARCH002 compact wire format sizes simulated bytes
 
     @classmethod
     def from_json(cls, raw: bytes) -> "FileMetadata":

@@ -1,0 +1,77 @@
+"""`repro.lint` — determinism & architecture static analysis.
+
+The whole reproduction rests on one invariant: seeded, byte-identical
+determinism on a virtual clock. The golden TPC-H Q6 trace, the chaos
+resilience reports, and every committed benchmark artifact are pinned
+on it. This package enforces the invariant *mechanically*, at lint
+time, with an AST-based checker framework (stdlib ``ast``, no
+dependencies beyond :func:`repro.telemetry.export.canonical_json` for
+byte-stable JSON output):
+
+* **DET001** — wall-clock reads (``time.time``, ``datetime.now``, …);
+* **DET002** — unseeded global randomness (``random.*``,
+  ``numpy.random`` module-level state) outside :mod:`repro.sim.rng`;
+* **DET003** — iterating sets (or materializing them into sequences)
+  without ``sorted(...)``;
+* **DET004** — ``id()``-based keys, ordering, or tie-breaking;
+* **ARCH001** — the layer DAG of :mod:`repro.lint.layer_dag` (imports
+  may only point at the same or a lower layer);
+* **ARCH002** — canonical-JSON discipline: ``json.dump(s)`` only
+  inside :mod:`repro.telemetry.export`.
+
+Findings carry ``path:line:col``, a check id, and a message; a line
+comment ``# repro-lint: disable=DET001 <reason>`` suppresses them (the
+reason is mandatory — LNT001 flags bare suppressions, LNT002 flags
+suppressions that no longer match anything). ``repro lint`` is the CLI;
+``repro lint --strict`` is the CI gate; ``repro lint --self-test``
+replays a bundled fixture of known violations so a checker can never
+silently go dead. See ``docs/static_analysis.md``.
+"""
+
+from repro.lint.arch import CanonicalJsonChecker, LayerChecker
+from repro.lint.baseline import Baseline, diff_against_baseline
+from repro.lint.determinism import (
+    IdentityOrderChecker,
+    OrderingChecker,
+    UnseededRandomChecker,
+    WallClockChecker,
+)
+from repro.lint.framework import (
+    Checker,
+    Finding,
+    SourceModule,
+    lint_modules,
+    lint_paths,
+    parse_suppressions,
+)
+
+
+def all_checkers() -> list[Checker]:
+    """Every shipped checker, in check-id order."""
+    return sorted([
+        WallClockChecker(),
+        UnseededRandomChecker(),
+        OrderingChecker(),
+        IdentityOrderChecker(),
+        LayerChecker(),
+        CanonicalJsonChecker(),
+    ], key=lambda checker: checker.id)
+
+
+__all__ = [
+    "Baseline",
+    "CanonicalJsonChecker",
+    "Checker",
+    "Finding",
+    "IdentityOrderChecker",
+    "LayerChecker",
+    "OrderingChecker",
+    "SourceModule",
+    "UnseededRandomChecker",
+    "WallClockChecker",
+    "all_checkers",
+    "diff_against_baseline",
+    "lint_modules",
+    "lint_paths",
+    "parse_suppressions",
+]

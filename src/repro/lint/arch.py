@@ -1,0 +1,135 @@
+"""ARCH001/ARCH002: architecture checkers.
+
+ARCH001 enforces the layer DAG declared in :mod:`repro.lint.layer_dag`
+on *every* import — module-level and deferred alike (a function-level
+import dodges the import-time cycle but not the coupling). ARCH002
+keeps artifact serialization on the one byte-stable JSON writer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.determinism import import_aliases, resolve_dotted
+from repro.lint.framework import Checker, Finding, SourceModule
+from repro.lint.layer_dag import ALLOWED, LAYERS
+
+#: The one module allowed to call ``json.dumps`` directly: it *is* the
+#: canonical writer.
+CANONICAL_WRITER = "repro.telemetry.export"
+
+
+def layer_of(module: str) -> Optional[str]:
+    """Layer for a dotted module name (most specific prefix wins).
+
+    The bare ``repro`` prefix matches only the package ``__init__``
+    itself, so an unmapped ``repro.<new>`` package resolves to ``None``
+    — forcing every new package into the DAG before it can import
+    anything.
+    """
+    best_prefix, best_layer = "", None
+    for layer in sorted(LAYERS):
+        for prefix in LAYERS[layer]:
+            if module == prefix or module.startswith(prefix + "."):
+                if len(prefix) > len(best_prefix):
+                    best_prefix, best_layer = prefix, layer
+    if best_prefix == "repro" and module != "repro":
+        return None
+    return best_layer
+
+
+def _import_targets(node: ast.AST, module: Optional[str],
+                    is_package_init: bool) -> list[str]:
+    """Dotted ``repro.*`` modules an import statement reaches for.
+
+    For ``from pkg import name`` the more specific ``pkg.name`` is
+    preferred when the DAG maps it (so ``from repro import units`` is a
+    ``util`` dependency, not a dependency on the root facade).
+    """
+    targets: list[str] = []
+    if isinstance(node, ast.Import):
+        targets = [alias.name for alias in node.names]
+    elif isinstance(node, ast.ImportFrom):
+        base = node.module or ""
+        if node.level > 0:
+            if module is None:
+                return []
+            parts = module.split(".")
+            package = parts if is_package_init else parts[:-1]
+            drop = node.level - 1
+            if drop > len(package):
+                return []
+            prefix = package[:len(package) - drop]
+            base = ".".join(prefix + ([node.module] if node.module else []))
+        base_layer = layer_of(base) if base else None
+        for alias in node.names:
+            specific = f"{base}.{alias.name}"
+            specific_layer = layer_of(specific) if alias.name != "*" else None
+            # `from repro import units` names the submodule, not the
+            # facade: attribute the edge to the more specific layer.
+            if specific_layer is not None and specific_layer != base_layer:
+                targets.append(specific)
+            else:
+                targets.append(base)
+    return [t for t in targets if t == "repro" or t.startswith("repro.")]
+
+
+class LayerChecker(Checker):
+    """ARCH001 — imports must respect the declared layer DAG."""
+
+    id = "ARCH001"
+    title = "layering contract"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if module.module is None or not (
+                module.module == "repro"
+                or module.module.startswith("repro.")):
+            return
+        source_layer = layer_of(module.module)
+        if source_layer is None:
+            yield module.finding(
+                module.tree, self.id,
+                f"module '{module.module}' is not assigned to any layer; "
+                f"add it to repro.lint.layer_dag.LAYERS")
+            return
+        allowed = frozenset(ALLOWED[source_layer]) | {source_layer}
+        is_init = module.path.endswith("__init__.py")
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            for target in _import_targets(node, module.module, is_init):
+                target_layer = layer_of(target)
+                if target_layer is None:
+                    yield module.finding(
+                        node, self.id,
+                        f"import of '{target}' resolves to no layer; add "
+                        f"it to repro.lint.layer_dag.LAYERS")
+                elif target_layer not in allowed:
+                    yield module.finding(
+                        node, self.id,
+                        f"layer '{source_layer}' may not import layer "
+                        f"'{target_layer}' (module '{target}'); allowed "
+                        f"layers: {', '.join(sorted(allowed))}")
+
+
+class CanonicalJsonChecker(Checker):
+    """ARCH002 — artifact JSON goes through ``canonical_json``."""
+
+    id = "ARCH002"
+    title = "canonical-JSON discipline"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if module.module == CANONICAL_WRITER:
+            return
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolve_dotted(node.func, aliases)
+            if dotted in ("json.dump", "json.dumps"):
+                yield module.finding(
+                    node, self.id,
+                    f"direct '{dotted}()' skips the byte-stable writer; "
+                    f"serialize artifacts via "
+                    f"repro.telemetry.export.canonical_json")

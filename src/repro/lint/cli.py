@@ -1,0 +1,117 @@
+"""The ``repro lint`` subcommand.
+
+Modes:
+
+* default — lint the tree, print findings (baseline-accepted ones are
+  tagged), always exit 0 (informational);
+* ``--strict`` — the CI gate: exit 1 on any finding not covered by the
+  baseline, on any stale baseline entry, and on framework findings
+  (LNT001/LNT002), so the accepted-debt set can only shrink;
+* ``--self-test`` — run every checker against the bundled
+  known-violations fixture and fail on any drift;
+* ``--update-baseline`` — accept the current findings as debt;
+* ``--list-checks`` — print the checker catalog.
+
+Output is human text or (``--json``) canonical JSON — two runs over
+the same tree are byte-identical.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.lint import all_checkers, diff_against_baseline, lint_paths
+from repro.lint.baseline import Baseline
+from repro.telemetry.export import canonical_json
+
+#: Default lint roots (relative to the repo root, where CI runs).
+DEFAULT_PATHS = ("src/repro",)
+
+#: Default committed baseline location.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def add_lint_arguments(parser) -> None:
+    """Attach the ``repro lint`` flags to an argparse subparser."""
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--strict", action="store_true",
+                        help="CI gate: fail on new findings, stale "
+                             "baseline entries, or suppression misuse")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the canonical JSON report")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline file of accepted findings "
+                             f"(default: {DEFAULT_BASELINE})")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to accept every "
+                             "current finding")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run all checkers against the bundled "
+                             "fixture of known violations")
+    parser.add_argument("--list-checks", action="store_true",
+                        help="list the available checks and exit")
+
+
+def run_lint(args) -> int:
+    """Execute ``repro lint``; returns the process exit code."""
+    if args.self_test:
+        from repro.lint.selftest import run_self_test
+        ok, lines = run_self_test()
+        print("\n".join(lines), file=sys.stdout if ok else sys.stderr)
+        return 0 if ok else 1
+
+    checkers = all_checkers()
+    if args.list_checks:
+        for checker in checkers:
+            print(f"{checker.id}  {checker.title}")
+        print("LNT001  suppression missing a reason")
+        print("LNT002  suppression matching no finding")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"repro lint: error: no such path: "
+              f"{', '.join(str(p) for p in missing)}", file=sys.stderr)
+        return 2
+    findings = lint_paths(paths, checkers)
+
+    baseline_path = Path(args.baseline)
+    if args.update_baseline:
+        Baseline.from_findings(findings).save(baseline_path)
+        print(f"baseline: wrote {len(findings)} finding(s) to "
+              f"{baseline_path}")
+        return 0
+
+    baseline = Baseline.load(baseline_path)
+    new, accepted, stale = diff_against_baseline(findings, baseline)
+    lnt = [f for f in new if f.check.startswith("LNT")]
+
+    if args.json:
+        print(canonical_json({
+            "findings": [dict(f.to_dict(), baselined=f in accepted)
+                         for f in sorted(findings,
+                                         key=lambda f: f.sort_key)],
+            "stale_baseline": stale,
+            "summary": {"new": len(new), "baselined": len(accepted),
+                        "stale_baseline": len(stale), "strict": args.strict},
+        }))
+    else:
+        for finding in new:
+            print(finding.format())
+        for finding in accepted:
+            print(f"{finding.format()} [baselined]")
+        for entry in stale:
+            print(f"{entry['path']}: stale baseline entry "
+                  f"{entry['check']} ({entry['message']}); regenerate "
+                  f"with --update-baseline")
+        print(f"repro lint: {len(new)} new, {len(accepted)} baselined, "
+              f"{len(stale)} stale baseline entr"
+              f"{'y' if len(stale) == 1 else 'ies'}")
+
+    if args.strict and (new or stale or lnt):
+        return 1
+    return 0

@@ -1,0 +1,270 @@
+"""DET001–DET004: the determinism checkers.
+
+Everything in the simulation must be a pure function of the seed and
+the configuration. These checkers ban the four ways real-world entropy
+leaks in: wall clocks, unseeded global RNGs, set iteration order, and
+memory-address identity.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.framework import Checker, Finding, SourceModule
+
+# -- dotted-name resolution ---------------------------------------------------
+
+
+def import_aliases(tree: ast.AST) -> dict[str, str]:
+    """Map names bound by imports to the dotted origin they denote.
+
+    ``import numpy as np`` → ``{"np": "numpy"}``;
+    ``from datetime import datetime`` → ``{"datetime": "datetime.datetime"}``.
+    Only import-bound names are mapped, so attribute chains rooted at
+    local variables never resolve (and never false-positive).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 \
+                and node.module:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+    return aliases
+
+
+def resolve_dotted(node: ast.expr, aliases: dict[str, str]) -> Optional[str]:
+    """Resolve ``np.random.rand`` → ``numpy.random.rand`` (or ``None``)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name) or node.id not in aliases:
+        return None
+    parts.append(aliases[node.id])
+    return ".".join(reversed(parts))
+
+
+# -- DET001: wall clocks ------------------------------------------------------
+
+#: Real-time sources; the simulation's only clock is ``Environment.now``.
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.sleep",
+    "datetime.datetime.now", "datetime.datetime.today",
+    "datetime.datetime.utcnow", "datetime.date.today",
+})
+
+
+class WallClockChecker(Checker):
+    """DET001 — wall-clock and OS-timer calls."""
+
+    id = "DET001"
+    title = "wall-clock ban"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolve_dotted(node.func, aliases)
+            if dotted in WALL_CLOCK_CALLS:
+                yield module.finding(
+                    node, self.id,
+                    f"wall-clock call '{dotted}()' breaks virtual-clock "
+                    f"determinism; use Environment.now / env.timeout()")
+
+
+# -- DET002: unseeded randomness ----------------------------------------------
+
+#: The one module allowed to own RNG state (it derives named seeded
+#: streams for everyone else).
+RNG_HOME = "repro.sim.rng"
+
+#: ``numpy.random`` members that construct *seeded, local* generators
+#: rather than touching the module-global state.
+NUMPY_RANDOM_SAFE = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+
+class UnseededRandomChecker(Checker):
+    """DET002 — module-global ``random`` / ``numpy.random`` state."""
+
+    id = "DET002"
+    title = "unseeded randomness"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if module.module == RNG_HOME:
+            return
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolve_dotted(node.func, aliases)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if parts[0] == "random" and len(parts) > 1 \
+                    and parts[1] != "Random":
+                yield module.finding(
+                    node, self.id,
+                    f"'{dotted}()' uses the process-global (or OS-entropy) "
+                    f"RNG; draw from a named sim.rng stream instead")
+            elif parts[:2] == ["numpy", "random"] and len(parts) > 2 \
+                    and parts[2] not in NUMPY_RANDOM_SAFE:
+                yield module.finding(
+                    node, self.id,
+                    f"'{dotted}()' touches numpy's global RNG state; use "
+                    f"numpy.random.default_rng(seed) or a sim.rng stream")
+
+
+# -- DET003: set iteration order ----------------------------------------------
+
+#: Builtins that materialize or enumerate their argument in order.
+ORDER_SENSITIVE_FUNCS = frozenset({
+    "list", "tuple", "enumerate", "iter", "reversed", "map", "filter",
+})
+
+#: Method names that consume an iterable in order.
+ORDER_SENSITIVE_METHODS = frozenset({"join", "extend"})
+
+
+def _returns_set(node: ast.expr, set_names: frozenset[str]) -> bool:
+    """Whether ``node`` is syntactically set-valued."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("set", "frozenset"):
+        return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        # Set algebra (a | b, a & b, a - b, a ^ b) stays a set.
+        return (_returns_set(node.left, set_names)
+                or _returns_set(node.right, set_names))
+    return False
+
+
+def _scope_statements(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope without descending into nested function scopes."""
+    body = scope.body if isinstance(
+        scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)) else []
+    stack = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue  # nested scope: visited on its own
+        for child in ast.iter_child_nodes(node):
+            stack.append(child)
+
+
+def _set_locals(scope: ast.AST) -> frozenset[str]:
+    """Names whose every binding in ``scope`` is a set-valued expression."""
+    bindings: dict[str, list[bool]] = {}
+    disqualified: set[str] = set()
+    for node in _scope_statements(scope):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            bindings.setdefault(node.targets[0].id, []).append(
+                _returns_set(node.value, frozenset()))
+        elif isinstance(node, ast.AnnAssign) \
+                and isinstance(node.target, ast.Name) \
+                and node.value is not None:
+            bindings.setdefault(node.target.id, []).append(
+                _returns_set(node.value, frozenset()))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for name in ast.walk(node.target):
+                if isinstance(name, ast.Name):
+                    disqualified.add(name.id)
+        elif isinstance(node, ast.AugAssign) \
+                and isinstance(node.target, ast.Name):
+            disqualified.add(node.target.id)
+    return frozenset(name for name, values in bindings.items()
+                     if all(values) and name not in disqualified)
+
+
+class OrderingChecker(Checker):
+    """DET003 — iterating sets without an explicit order."""
+
+    id = "DET003"
+    title = "set iteration order"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        scopes = [module.tree] + [
+            node for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))]
+        for scope in scopes:
+            set_names = _set_locals(scope)
+            for node in _scope_statements(scope):
+                yield from self._check_node(module, node, set_names)
+
+    def _check_node(self, module: SourceModule, node: ast.AST,
+                    set_names: frozenset[str]) -> Iterator[Finding]:
+        def flag(expr: ast.expr, context: str) -> Iterator[Finding]:
+            if _returns_set(expr, set_names):
+                yield module.finding(
+                    expr, self.id,
+                    f"{context} iterates a set in hash order; wrap in "
+                    f"sorted(...) or keep insertion order with dict/list")
+
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield from flag(node.iter, "for-loop")
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            for comp in node.generators:
+                yield from flag(comp.iter, "comprehension")
+        elif isinstance(node, ast.Starred):
+            yield from flag(node.value, "unpacking (*)")
+        elif isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) \
+                    and node.func.id in ORDER_SENSITIVE_FUNCS:
+                for arg in node.args:
+                    yield from flag(arg, f"{node.func.id}(...)")
+            elif isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in ORDER_SENSITIVE_METHODS:
+                for arg in node.args:
+                    yield from flag(arg, f".{node.func.attr}(...)")
+
+
+# -- DET004: identity-based ordering ------------------------------------------
+
+
+class IdentityOrderChecker(Checker):
+    """DET004 — ``id()`` keys/ordering (memory addresses vary per run)."""
+
+    id = "DET004"
+    title = "id()-based ordering"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Name) and node.func.id == "id" \
+                        and len(node.args) == 1:
+                    yield module.finding(
+                        node, self.id,
+                        "id() yields a memory address — nondeterministic "
+                        "across runs; key/order by a stable sequence number")
+                for keyword in node.keywords:
+                    if keyword.arg == "key" \
+                            and isinstance(keyword.value, ast.Name) \
+                            and keyword.value.id == "id":
+                        yield module.finding(
+                            keyword.value, self.id,
+                            "key=id orders by memory address — "
+                            "nondeterministic across runs; use a stable "
+                            "attribute as the sort key")

@@ -278,7 +278,9 @@ class Fabric:
         for flow in flows:
             ids = []
             for constraint in flow.constraints():
-                key = id(constraint)
+                # Opaque identity token: used only as a dict key, never
+                # ordered — iteration order is insertion (discovery) order.
+                key = id(constraint)  # repro-lint: disable=DET004 identity token, never ordered
                 if key not in members:
                     if isinstance(constraint, TokenBucketShaper):
                         capacity_of[key] = constraint.allowed_rate()
@@ -300,7 +302,11 @@ class Fabric:
             while queue:
                 flow = queue.pop()
                 for key in flow_constraints[flow]:
-                    for neighbour in members[key]:
+                    # Sorted by creation id: Flow hashes by address, so
+                    # bare set order would vary run to run and reorder
+                    # the float arithmetic downstream.
+                    for neighbour in sorted(members[key],
+                                            key=lambda f: f.id):
                         if neighbour not in component_of:
                             component_of[neighbour] = component_id
                             queue.append(neighbour)
@@ -335,10 +341,10 @@ class Fabric:
                     best_key = key
             if best_key is None:
                 # No finite constraints left: grant the default free rate.
-                for flow in unfrozen:
+                for flow in sorted(unfrozen, key=lambda f: f.id):
                     flow.rate = self.default_rate
                 break
-            frozen_now = list(live[best_key])
+            frozen_now = sorted(live[best_key], key=lambda f: f.id)
             for flow in frozen_now:
                 flow.rate = best_share
                 unfrozen.discard(flow)

@@ -83,7 +83,7 @@ class Event:
     def __repr__(self) -> str:
         state = "processed" if self.processed else (
             "triggered" if self.triggered else "pending")
-        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"  # repro-lint: disable=DET004 debug repr only, never feeds artifacts
 
 
 class Timeout(Event):
@@ -100,7 +100,7 @@ class Timeout(Event):
         env.schedule(self, delay=delay)
 
     def __repr__(self) -> str:
-        return f"<Timeout delay={self._delay} at {id(self):#x}>"
+        return f"<Timeout delay={self._delay} at {id(self):#x}>"  # repro-lint: disable=DET004 debug repr only, never feeds artifacts
 
 
 class Initialize(Event):
@@ -215,7 +215,7 @@ class Process(Event):
         self.env.schedule(self)
 
     def __repr__(self) -> str:
-        return f"<Process {self.name!r} at {id(self):#x}>"
+        return f"<Process {self.name!r} at {id(self):#x}>"  # repro-lint: disable=DET004 debug repr only, never feeds artifacts
 
 
 class ConditionValue(dict):

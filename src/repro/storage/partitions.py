@@ -82,6 +82,9 @@ class Partition:
 
     low: float
     high: float
+    #: Stable identity assigned by the owning tree at creation time
+    #: (memory addresses must never key or order anything).
+    uid: int = 0
     read_quota: float = READ_IOPS_PER_PARTITION
     write_quota: float = WRITE_IOPS_PER_PARTITION
     heat_s: float = 0.0
@@ -142,6 +145,7 @@ class PartitionTree:
         self.full_merge_idle_s = full_merge_idle_s
         self.read_quota = read_quota
         self.write_quota = write_quota
+        self._partition_seq = 0
         self.partitions: list[Partition] = [self._fresh(0.0, 1.0)]
         self.split_count = 0
         self.merge_count = 0
@@ -152,7 +156,7 @@ class PartitionTree:
         self.telemetry = None
         self.telemetry_prefix = "partitions"
         #: Per-partition admit timestamps inside the sliding IOPS window,
-        #: keyed by ``(id(partition), direction)``.
+        #: keyed by ``(partition.uid, direction)``.
         self._admit_log: dict[tuple[int, str], deque] = {}
 
     def enable_telemetry(self, recorder, prefix: str) -> None:
@@ -174,7 +178,7 @@ class PartitionTree:
     def _sample_iops(self, partition: Partition, direction: str,
                      now: float) -> None:
         """Sliding-window admitted-rate estimate for the discrete path."""
-        log = self._admit_log.setdefault((id(partition), direction), deque())
+        log = self._admit_log.setdefault((partition.uid, direction), deque())
         log.append(now)
         cutoff = now - IOPS_WINDOW_S
         while log and log[0] < cutoff:
@@ -193,7 +197,9 @@ class PartitionTree:
             now, float(len(self.partitions)))
 
     def _fresh(self, low: float, high: float) -> Partition:
-        return Partition(low=low, high=high, read_quota=self.read_quota,
+        self._partition_seq += 1
+        return Partition(low=low, high=high, uid=self._partition_seq,
+                         read_quota=self.read_quota,
                          write_quota=self.write_quota,
                          read_tokens=self.read_quota,
                          write_tokens=self.write_quota)

@@ -9,6 +9,7 @@ from typing import Optional
 from repro import units
 from repro.analysis.stats import coefficient_of_variation, median_ratio
 from repro.core.context import CloudSim
+from repro.core.driver import Driver
 from repro.datagen import load_table, scaled_spec
 from repro.engine import SkyriseEngine
 from repro.engine.queries import QUERY_BUILDERS
@@ -199,3 +200,9 @@ def workday_cold_runs(interval_s: float = 900.0,
                       hours: float = 8.0) -> int:
     """Number of cold-protocol runs over a workday (paper: 15-min gaps)."""
     return max(1, math.floor(hours * units.HOUR / interval_s))
+
+
+# The driver never imports upward; the workloads layer contributes the
+# "query" experiment kind through the registration hook instead (the
+# same inversion as Environment.set_monitor).
+Driver.register_kind("query", run_query_experiment)
