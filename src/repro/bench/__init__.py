@@ -1,0 +1,38 @@
+"""Performance-benchmark harness (`repro bench`).
+
+Macro-scenarios over the simulator's hot paths, measured for wall-clock
+and Python call counts, with deterministic check values that pin the
+simulated outcomes. ``benchmarks/perf/BENCH_PR5.json`` holds the
+committed before/after numbers; the CI ``bench-smoke`` job re-measures
+the smoke variants and fails on outcome drift or a >25% wall-clock
+regression on the serving scenario. See ``docs/performance.md``.
+"""
+
+from repro.bench.harness import (
+    REGRESSION_FACTOR,
+    format_results,
+    gate,
+    load_baseline,
+    measure,
+    normalized_wall,
+    record,
+    run_scenarios,
+    save_baseline,
+    spin_score,
+)
+from repro.bench.scenarios import SCENARIOS, Scenario
+
+__all__ = [
+    "REGRESSION_FACTOR",
+    "SCENARIOS",
+    "Scenario",
+    "format_results",
+    "gate",
+    "load_baseline",
+    "measure",
+    "normalized_wall",
+    "record",
+    "run_scenarios",
+    "save_baseline",
+    "spin_score",
+]

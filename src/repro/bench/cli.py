@@ -1,0 +1,91 @@
+"""`repro bench` — run the perf macro-scenarios and gate against baseline.
+
+Usage::
+
+    repro bench                         # measure all scenarios (full size)
+    repro bench --smoke                 # small variants + CI gate
+    repro bench --scenario serving      # one scenario only
+    repro bench --record before         # write results into BENCH_PR5.json
+    repro bench --record after --smoke  # and the smoke slot
+
+Without ``--record``, measurements are printed and (in ``--smoke``)
+compared against the committed baseline: deterministic checks must match
+exactly and the serving wall-clock (spin-normalized) must stay within
+the regression factor. With ``--record``, measurements are merged into
+the baseline file instead and the gate is skipped.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path("benchmarks/perf/BENCH_PR5.json")
+
+
+def add_bench_arguments(parser) -> None:
+    """Attach `repro bench` arguments to an argparse subparser."""
+    from repro.bench.harness import SLOTS
+
+    parser.add_argument("--smoke", action="store_true",
+                        help="small scenario variants; gate against the "
+                             "committed baseline (CI mode)")
+    parser.add_argument("--scenario", action="append", default=None,
+                        metavar="NAME",
+                        help="measure only this scenario (repeatable)")
+    parser.add_argument("--record", choices=SLOTS, default=None,
+                        help="write results into the baseline file under "
+                             "this slot instead of gating")
+    parser.add_argument("--file", type=Path, default=DEFAULT_BASELINE,
+                        help=f"baseline JSON path "
+                             f"(default: {DEFAULT_BASELINE})")
+    parser.add_argument("--no-calls", action="store_true",
+                        help="skip the cProfile call-count pass (faster)")
+
+
+def run_bench(args) -> int:
+    """Entry point for the `bench` subcommand; returns an exit code."""
+    from repro.bench.harness import (
+        format_results,
+        gate,
+        load_baseline,
+        record,
+        run_scenarios,
+        save_baseline,
+    )
+    from repro.bench.scenarios import SCENARIOS
+
+    names = args.scenario or sorted(SCENARIOS)
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        print(f"repro bench: unknown scenario(s) {unknown}; "
+              f"choose from {sorted(SCENARIOS)}", file=sys.stderr)
+        return 2
+
+    baseline = load_baseline(args.file)
+    try:
+        results = run_scenarios(names, smoke=args.smoke,
+                                count_calls=not args.no_calls)
+    except RuntimeError as exc:
+        print(f"repro bench: error: {exc}", file=sys.stderr)
+        return 1
+    print(format_results(results, baseline, smoke=args.smoke))
+
+    if args.record:
+        record(baseline, results, args.record, smoke=args.smoke)
+        save_baseline(baseline, args.file)
+        mode = "smoke" if args.smoke else "full"
+        print(f"recorded {mode}/{args.record} for {', '.join(names)} "
+              f"-> {args.file}")
+        return 0
+
+    if args.smoke:
+        failures = gate(results, baseline, smoke=True)
+        if failures:
+            for failure in failures:
+                print(f"repro bench --smoke: FAIL: {failure}",
+                      file=sys.stderr)
+            return 1
+        print("smoke OK: deterministic checks match baseline, "
+              "no wall-clock regression")
+    return 0

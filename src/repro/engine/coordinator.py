@@ -33,6 +33,7 @@ from repro.engine.plan import (
     ResultSink,
     ShuffleSource,
     TableSource,
+    plan_from_dict_cached,
 )
 from repro.engine.tracing import hedge_candidates
 from repro.faas.function import FunctionContext
@@ -217,7 +218,7 @@ def make_invoker_handler(runtime: CoordinatorRuntime):
 def _run_query(runtime: CoordinatorRuntime, context: FunctionContext,
                payload: dict):
     env = context.env
-    plan = PhysicalPlan.from_dict(payload["plan"])
+    plan = plan_from_dict_cached(payload["plan"])
     started_at = env.now
     runtime.epoch += 1
     epoch = runtime.epoch
@@ -338,10 +339,14 @@ def _fragment_payloads(runtime: CoordinatorRuntime, plan: PhysicalPlan,
             "read_fraction": 1.0,
         }
     payloads = []
+    # One spec dict shared by every fragment payload of this stage: the
+    # dict is read-only downstream, and sharing lets the worker memoize
+    # the parse by identity instead of re-parsing per fragment.
+    pipeline_dict = pipeline.to_dict()
     for fragment in range(count):
         payload = {
             "query_id": plan.query_id,
-            "pipeline": pipeline.to_dict(),
+            "pipeline": pipeline_dict,
             "fragment": fragment,
             "fragment_count": count,
             "out_partitions": consumers,

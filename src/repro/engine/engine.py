@@ -27,7 +27,7 @@ from repro.engine.plan import PhysicalPlan
 from repro.engine.worker import WorkerRuntime, make_worker_handler
 from repro.faas.function import FunctionConfig
 from repro.formats.batch import RecordBatch
-from repro.formats.columnar import read_file
+from repro.formats.columnar import ColumnarCache, read_file
 from repro.pricing.calculator import CostCalculator
 from repro.pricing.catalog import STORAGE_PRICES
 from repro.sim import Environment
@@ -105,6 +105,11 @@ class SkyriseEngine:
         self.recovery = recovery if recovery is not None else RecoveryConfig()
         self.catalog: dict[str, TableMetadata] = {}
         self.barriers = BarrierRegistry(env)
+        #: Decode cache shared by every worker of this engine. Workers in
+        #: the real system would each hold one per sandbox; a single
+        #: shared cache models the steady state where every warm sandbox
+        #: has seen the working set, without per-sandbox memory tracking.
+        self.columnar_cache = ColumnarCache()
         self._deployed = False
 
     # -- setup -------------------------------------------------------------
@@ -123,7 +128,8 @@ class SkyriseEngine:
         worker_runtime = WorkerRuntime(
             storage=self.storage, barriers=self.barriers,
             cost_model=self.cost_model,
-            intermediate_service=self.intermediate_service)
+            intermediate_service=self.intermediate_service,
+            columnar_cache=self.columnar_cache)
         coordinator_runtime = CoordinatorRuntime(
             catalog=self.catalog, backend=self.backend,
             worker_function="skyrise-worker",

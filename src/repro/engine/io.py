@@ -67,7 +67,8 @@ class IoStack:
     def __init__(self, env: Environment, storage: StorageService,
                  endpoint: Endpoint,
                  chunk_bytes: float = DEFAULT_CHUNK_BYTES,
-                 concurrency: int = DEFAULT_CONCURRENCY) -> None:
+                 concurrency: int = DEFAULT_CONCURRENCY,
+                 cache=None) -> None:
         if chunk_bytes <= 0 or concurrency <= 0:
             raise ValueError("chunk_bytes and concurrency must be positive")
         self.env = env
@@ -75,6 +76,9 @@ class IoStack:
         self.endpoint = endpoint
         self.chunk_bytes = float(chunk_bytes)
         self.concurrency = concurrency
+        #: Optional :class:`repro.formats.columnar.ColumnarCache` shared
+        #: across workers; readers consult it after the simulated fetch.
+        self.cache = cache
         self.stats = IoStats()
         self._deferred_bytes = 0.0
         recorder = get_recorder()

@@ -75,21 +75,22 @@ class HashAggregateOperator(Operator):
             # Global aggregate: everything falls into one group.
             return {}, np.zeros(n, dtype=np.int64), 1
         key_arrays = [batch.column(k) for k in self.group_keys]
-        composite = np.array(
-            ["\x1f".join(str(values[i]) for values in key_arrays)
-             for i in range(n)], dtype=object)
-        uniques, inverse = np.unique(composite, return_inverse=True)
+        # Stringify column-at-a-time (tolist() unboxes numpy scalars,
+        # whose str() matches the Python equivalents') and join across
+        # columns — same composites as the old per-row generator without
+        # the per-row Python frames.
+        cols = [[str(v) for v in values.tolist()] for values in key_arrays]
+        if len(cols) == 1:
+            composite = np.array(cols[0], dtype=object)
+        else:
+            composite = np.array(["\x1f".join(row) for row in zip(*cols)],
+                                 dtype=object)
+        # np.unique returns sorted uniques; ``first_index`` is the first
+        # row of each group, used to recover typed key values.
+        uniques, first_index, inverse = np.unique(
+            composite, return_index=True, return_inverse=True)
         keys = {}
         for name, values in zip(self.group_keys, key_arrays):
-            first_index = np.zeros(len(uniques), dtype=np.int64)
-            # np.unique returns sorted uniques; find a representative row
-            # per group to recover typed key values.
-            seen = {}
-            for row, group in enumerate(inverse):
-                if group not in seen:
-                    seen[group] = row
-            for group, row in seen.items():
-                first_index[group] = row
             keys[name] = values[first_index]
         return keys, inverse, len(uniques)
 

@@ -91,7 +91,14 @@ class PipelineSpec:
     barrier: bool = False
 
     def to_dict(self) -> dict:
-        return {
+        # Memoized per instance: serving replays the same plan objects
+        # for every request of a tenant, and a stable dict identity lets
+        # the coordinator and workers memoize their parses. Treat the
+        # returned dict (and the spec after serializing) as read-only.
+        cached = getattr(self, "_as_dict", None)
+        if cached is not None:
+            return cached
+        data = {
             "id": self.id,
             "source": self.source.to_dict(),
             "operators": [op.to_dict() for op in self.operators],
@@ -101,6 +108,8 @@ class PipelineSpec:
             "side_tables": self.side_tables,
             "barrier": self.barrier,
         }
+        self._as_dict = data
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "PipelineSpec":
@@ -169,14 +178,45 @@ class PhysicalPlan:
         return finals[0]
 
     def to_dict(self) -> dict:
-        return {"query_id": self.query_id,
+        # Memoized per instance, like PipelineSpec.to_dict.
+        cached = getattr(self, "_as_dict", None)
+        if cached is not None:
+            return cached
+        data = {"query_id": self.query_id,
                 "pipelines": [p.to_dict() for p in self.pipelines]}
+        self._as_dict = data
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "PhysicalPlan":
         return cls(query_id=data["query_id"],
                    pipelines=[PipelineSpec.from_dict(p)
                               for p in data["pipelines"]])
+
+
+#: Memoized plan parses keyed by dict identity, mirroring the worker's
+#: pipeline-spec memo: each entry pins its keyed dict, so an id() cannot
+#: be reused while the entry is alive.
+_PLAN_CACHE: dict[int, tuple[dict, PhysicalPlan]] = {}
+_PLAN_CACHE_MAX = 64
+
+
+def plan_from_dict_cached(data: dict) -> PhysicalPlan:
+    """Parse a plan dict, memoized by identity.
+
+    With :meth:`PhysicalPlan.to_dict` memoized on the sending side, a
+    replayed plan (a serving workload resubmitting a tenant's template)
+    parses once instead of once per query.
+    """
+    key = id(data)  # repro-lint: disable=DET004 identity memo key, never ordered
+    hit = _PLAN_CACHE.get(key)
+    if hit is not None and hit[0] is data:
+        return hit[1]
+    plan = PhysicalPlan.from_dict(data)
+    if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
+        _PLAN_CACHE.clear()
+    _PLAN_CACHE[key] = (data, plan)
+    return plan
 
 
 def source_from_dict(data: dict) -> TableSource | ShuffleSource:

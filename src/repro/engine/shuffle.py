@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.engine.io import IoStack
 from repro.formats.batch import RecordBatch
-from repro.formats.columnar import read_file, write_file
+from repro.formats.columnar import content_key, read_file, write_file
 
 
 def shuffle_key(query_id: str, pipeline_id: str, fragment: int) -> str:
@@ -65,9 +65,11 @@ class ShuffleWriter:
 
     def partition_batch(self, batch: RecordBatch) -> list[ShufflePartition]:
         """Split ``batch`` into hash partitions by the shuffle key."""
+        cache = self.io.cache
+        encode = write_file if cache is None else cache.encode_batch
         slices: list[ShufflePartition] = []
         if len(batch) == 0:
-            empty = write_file(batch)
+            empty = encode(batch)
             for _ in range(self.partitions):
                 slices.append(ShufflePartition(payload=empty,
                                                logical_bytes=0.0, rows=0))
@@ -80,7 +82,7 @@ class ShuffleWriter:
         for partition in range(self.partitions):
             piece = batch.take(assignment == partition)
             slices.append(ShufflePartition(
-                payload=write_file(piece),
+                payload=encode(piece),
                 logical_bytes=piece.logical_bytes,
                 rows=len(piece)))
         return slices
@@ -196,7 +198,8 @@ class ShuffleReader:
         MiBs, the "Shuffle I/O Size" column of Table 6.
         """
         key = shuffle_key(self.query_id, self.pipeline_id, fragment)
-        index = self.io.storage.head(key).payload
+        head = self.io.storage.head(key)
+        index = head.payload
         logical = float(index["logical"][self.partition])
         if index.get("combined", True):
             yield from self.io.read_object(key,
@@ -209,7 +212,12 @@ class ShuffleReader:
                 part_key, logical_bytes=max(logical, 1.0),
                 defer_transfer=True)
             raw = obj.payload
-        piece = read_file(raw)
+        # Shuffle keys embed the query id and never repeat, so the decode
+        # cache is keyed by payload content: re-executions of a query
+        # template produce byte-identical slices and hit.
+        cache = self.io.cache
+        piece = read_file(raw, cache=cache,
+                          cache_key=content_key(raw) if cache else None)
         piece.logical_bytes = logical
         return piece
 

@@ -24,7 +24,7 @@ from repro.engine.plan import (
 from repro.engine.shuffle import ShuffleReader, ShuffleWriter
 from repro.faas.function import FunctionContext
 from repro.formats.batch import RecordBatch
-from repro.formats.columnar import read_file
+from repro.formats.columnar import ColumnarCache, read_file
 from repro.storage.base import StorageService
 from repro.telemetry import get_recorder
 
@@ -38,6 +38,8 @@ class WorkerRuntime:
     cost_model: CpuCostModel
     #: Storage service name used for shuffle intermediates and results.
     intermediate_service: str = "s3-standard"
+    #: Shared footer/chunk decode cache; ``None`` disables caching.
+    columnar_cache: ColumnarCache | None = None
 
 
 @dataclass
@@ -67,6 +69,29 @@ def result_key(query_id: str, fragment: int) -> str:
     return f"results/{query_id}/part-{fragment:05d}"
 
 
+#: Memoized pipeline-spec parses keyed by dict identity. The coordinator
+#: shares one spec dict across a stage's fragment payloads, so a fan-out
+#: of N fragments parses the operator tree once instead of N times. Each
+#: entry holds a strong reference to its keyed dict, so an id() cannot
+#: be reused while the entry is alive; the identity check guards the
+#: eviction window.
+_SPEC_CACHE: dict[int, tuple[dict, PipelineSpec]] = {}
+_SPEC_CACHE_MAX = 128
+
+
+def _pipeline_spec(data: dict) -> PipelineSpec:
+    """Parse a pipeline spec dict, memoized by identity."""
+    key = id(data)  # repro-lint: disable=DET004 identity memo key, never ordered
+    hit = _SPEC_CACHE.get(key)
+    if hit is not None and hit[0] is data:
+        return hit[1]
+    spec = PipelineSpec.from_dict(data)
+    if len(_SPEC_CACHE) >= _SPEC_CACHE_MAX:
+        _SPEC_CACHE.clear()
+    _SPEC_CACHE[key] = (data, spec)
+    return spec
+
+
 def make_worker_handler(runtime: WorkerRuntime):
     """Build the worker function handler bound to ``runtime``."""
 
@@ -81,12 +106,14 @@ def _execute_fragment(runtime: WorkerRuntime, context: FunctionContext,
                       payload: dict):
     env = context.env
     query_id = payload["query_id"]
-    pipeline = PipelineSpec.from_dict(payload["pipeline"])
+    pipeline = _pipeline_spec(payload["pipeline"])
     fragment = payload["fragment"]
     base_storage = runtime.storage[payload["table_service"]]
     shuffle_storage = runtime.storage[payload["intermediate_service"]]
-    base_io = IoStack(env, base_storage, context.endpoint)
-    shuffle_io = IoStack(env, shuffle_storage, context.endpoint)
+    base_io = IoStack(env, base_storage, context.endpoint,
+                      cache=runtime.columnar_cache)
+    shuffle_io = IoStack(env, shuffle_storage, context.endpoint,
+                         cache=runtime.columnar_cache)
     phases: dict[str, float] = {}
     recorder = get_recorder()
     wspan = None
@@ -257,7 +284,8 @@ def _read_partitions(runtime: WorkerRuntime, context: FunctionContext,
         yield context.compute(runtime.cost_model.cpu_seconds(
             "decode", logical))
         piece = read_file(obj.payload, columns=columns,
-                          zone_map_filters=zone_filters)
+                          zone_map_filters=zone_filters, cache=io.cache,
+                          cache_key=(obj.key, obj.version))
         piece.logical_bytes = logical
         batches.append(piece)
     return RecordBatch.concat(batches)

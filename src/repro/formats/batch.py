@@ -37,6 +37,7 @@ class RecordBatch:
                     f"expected {length}")
             self.columns[field.name] = array
         self._length = length if length is not None else 0
+        self._physical: Optional[int] = None
         self.logical_bytes = (float(logical_bytes) if logical_bytes is not None
                               else float(self.physical_bytes))
 
@@ -50,14 +51,23 @@ class RecordBatch:
 
     @property
     def physical_bytes(self) -> int:
-        """Actual in-memory footprint of the column data."""
+        """Actual in-memory footprint of the column data.
+
+        Computed once and cached: column arrays are never replaced after
+        construction (operators build new batches instead), and the
+        string measurement walks every value.
+        """
+        if self._physical is not None:
+            return self._physical
         total = 0
         for field in self.schema:
             array = self.columns[field.name]
             if field.dtype is DataType.STRING:
-                total += sum(len(str(v)) for v in array) + 4 * len(array)
+                total += (sum(len(str(v)) for v in array.tolist())
+                          + 4 * len(array))
             else:
                 total += array.nbytes
+        self._physical = total
         return total
 
     def column(self, name: str) -> np.ndarray:

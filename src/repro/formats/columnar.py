@@ -15,11 +15,13 @@ needs, skipping row groups whose zone maps cannot satisfy the predicate
 
 from __future__ import annotations
 
+import hashlib
 import json
 import struct
 import zlib
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 import numpy as np
 
@@ -198,17 +200,200 @@ def read_metadata(data: bytes) -> FileMetadata:
 ZoneMapPredicate = Callable[[Optional[float | str], Optional[float | str]], bool]
 
 
+def content_key(data: bytes) -> bytes:
+    """Content digest of a serialized file, usable as a cache key.
+
+    Keys reads of transient objects (shuffle slices carry the query id
+    in their object key, so identity-based keys never repeat) by their
+    bytes instead: identical payloads share footer and chunk entries.
+    """
+    return hashlib.md5(data).digest()
+
+
+def _batch_content_key(batch: RecordBatch, row_group_size: int) -> bytes:
+    """Content digest of a batch: two batches with equal keys serialize
+    to byte-identical files.
+
+    Values are length-framed (strings) or raw buffers tagged with their
+    physical dtype (numerics), so no two distinct column contents can
+    produce the same digest input.
+    """
+    h = hashlib.md5()
+    h.update(struct.pack("<QQ", len(batch), row_group_size))
+    for field in batch.schema:
+        array = batch.columns[field.name]
+        h.update(field.name.encode("utf-8"))
+        h.update(field.dtype.value.encode("utf-8"))
+        if field.dtype is DataType.STRING:
+            for value in array.tolist():
+                encoded = str(value).encode("utf-8")
+                h.update(struct.pack("<Q", len(encoded)))
+                h.update(encoded)
+        else:
+            h.update(str(array.dtype).encode("utf-8"))
+            h.update(np.ascontiguousarray(array).tobytes())
+    return h.digest()
+
+
+class ColumnarCache:
+    """LRU cache of parsed footers and decoded column chunks.
+
+    Decoding is pure host-side CPU work: the simulated cost of a read
+    (requests, transfer time, decode compute) is charged *before*
+    :func:`read_file` runs, so serving a footer or chunk from this cache
+    changes wall-clock only, never a simulated outcome. Entries are
+    keyed by a caller-supplied identity token — ``(object key, version)``
+    for base tables, plus the partition index for shuffle slices — so an
+    overwritten object (new version) can never serve stale bytes.
+
+    Cached chunk arrays are shared across readers but never aliased into
+    a :class:`RecordBatch`: ``read_file`` concatenates pieces, and
+    ``np.concatenate`` always copies, even for a single input.
+    """
+
+    def __init__(self, max_bytes: float = 256 * 1024 * 1024) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = float(max_bytes)
+        self._footers: OrderedDict[Any, FileMetadata] = OrderedDict()
+        self._chunks: OrderedDict[Any, np.ndarray] = OrderedDict()
+        self._chunk_bytes = 0.0
+        self._encoded: OrderedDict[bytes, bytes] = OrderedDict()
+        self._encoded_bytes = 0.0
+        #: Fully assembled reads: (cache_key, projection) -> the schema,
+        #: concatenated column arrays, and physical size of the decoded
+        #: batch. Hits rebuild a fresh RecordBatch around the shared
+        #: arrays (columns are never mutated in place — see batch.py).
+        self._assembled: OrderedDict[Any, tuple] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def metadata(self, cache_key: Any, data: bytes) -> FileMetadata:
+        """Parsed footer of ``data``, from cache when possible."""
+        cached = self._footers.get(cache_key)
+        if cached is not None:
+            self._footers.move_to_end(cache_key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        metadata = read_metadata(data)
+        self._footers[cache_key] = metadata
+        while len(self._footers) > 1024:
+            self._footers.popitem(last=False)
+        return metadata
+
+    def chunk(self, cache_key: Any, chunk: ChunkMeta, data: bytes,
+              dtype: DataType) -> np.ndarray:
+        """Decoded array for ``chunk``, from cache when possible.
+
+        Callers must treat the returned array as read-only.
+        """
+        key = (cache_key, chunk.offset)
+        cached = self._chunks.get(key)
+        if cached is not None:
+            self._chunks.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        payload = data[chunk.offset:chunk.offset + chunk.size]
+        array = _decode_column(payload, chunk.encoding, dtype, chunk.rows)
+        self._chunks[key] = array
+        self._chunk_bytes += array.nbytes
+        while self._chunk_bytes > self.max_bytes and self._chunks:
+            _, evicted = self._chunks.popitem(last=False)
+            self._chunk_bytes -= evicted.nbytes
+        return array
+
+    def encode_batch(self, batch: RecordBatch,
+                     row_group_size: int = DEFAULT_ROW_GROUP_SIZE) -> bytes:
+        """Serialize ``batch`` via :func:`write_file`, memoized by content.
+
+        Serving workloads write the same shuffle partitions for every
+        execution of a query template; hashing the batch is several
+        times cheaper than re-running dictionary encoding, zlib, and
+        footer serialization. The returned bytes are exactly what
+        ``write_file`` produces, so simulated object sizes are
+        unchanged.
+        """
+        key = _batch_content_key(batch, row_group_size)
+        hit = self._encoded.get(key)
+        if hit is not None:
+            self._encoded.move_to_end(key)
+            self.hits += 1
+            return hit
+        self.misses += 1
+        payload = write_file(batch, row_group_size=row_group_size)
+        self._encoded[key] = payload
+        self._encoded_bytes += len(payload)
+        while self._encoded_bytes > self.max_bytes and self._encoded:
+            _, evicted = self._encoded.popitem(last=False)
+            self._encoded_bytes -= len(evicted)
+        return payload
+
+    def assembled(self, key: Any) -> "RecordBatch | None":
+        """A fresh batch from a cached assembled read, or ``None``.
+
+        The batch shares its column arrays with every other hit of the
+        same entry; its ``logical_bytes`` matches what a cold
+        :func:`read_file` would have produced (the physical size),
+        so callers may overwrite it exactly as they do on a miss.
+        """
+        entry = self._assembled.get(key)
+        if entry is None:
+            return None
+        self._assembled.move_to_end(key)
+        self.hits += 1
+        schema, arrays, physical = entry
+        batch = RecordBatch(schema, arrays, logical_bytes=float(physical))
+        batch._physical = physical
+        return batch
+
+    def store_assembled(self, key: Any, batch: "RecordBatch") -> None:
+        """Remember a fully decoded read for :meth:`assembled`."""
+        self._assembled[key] = (batch.schema, dict(batch.columns),
+                                batch.physical_bytes)
+        while len(self._assembled) > 512:
+            self._assembled.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every cached footer, chunk, and encoded file."""
+        self._footers.clear()
+        self._chunks.clear()
+        self._chunk_bytes = 0.0
+        self._encoded.clear()
+        self._encoded_bytes = 0.0
+        self._assembled.clear()
+
+
 def read_file(data: bytes, columns: Optional[Iterable[str]] = None,
-              zone_map_filters: Optional[dict[str, ZoneMapPredicate]] = None
-              ) -> RecordBatch:
+              zone_map_filters: Optional[dict[str, ZoneMapPredicate]] = None,
+              cache: Optional[ColumnarCache] = None,
+              cache_key: Any = None) -> RecordBatch:
     """Read a columnar file with projection and selection pushdown.
 
     ``columns`` restricts which column chunks are decoded; row groups
     whose zone maps fail any ``zone_map_filters`` entry are skipped
-    entirely.
+    entirely. With both ``cache`` and ``cache_key``, footer parsing and
+    chunk decoding are served from the cache on repeat reads of the same
+    object version.
     """
-    metadata = read_metadata(data)
-    wanted = list(columns) if columns is not None else metadata.schema.names()
+    use_cache = cache is not None and cache_key is not None
+    projection = tuple(columns) if columns is not None else None
+    assembled_key = None
+    if use_cache and not zone_map_filters:
+        # Zone-map predicates are per-query callables, so only
+        # filter-free reads are cached whole; filtered reads still hit
+        # the footer and chunk caches below.
+        assembled_key = (cache_key, projection)
+        hit = cache.assembled(assembled_key)
+        if hit is not None:
+            return hit
+    if use_cache:
+        metadata = cache.metadata(cache_key, data)
+    else:
+        metadata = read_metadata(data)
+    wanted = (list(projection) if projection is not None
+              else metadata.schema.names())
     sub_schema = metadata.schema.select(wanted)
     filters = zone_map_filters or {}
     pieces: dict[str, list[np.ndarray]] = {name: [] for name in wanted}
@@ -226,6 +411,9 @@ def read_file(data: bytes, columns: Optional[Iterable[str]] = None,
         for name in wanted:
             chunk = by_name[name]
             dtype = metadata.schema.field(name).dtype
+            if use_cache:
+                pieces[name].append(cache.chunk(cache_key, chunk, data, dtype))
+                continue
             payload = data[chunk.offset:chunk.offset + chunk.size]
             pieces[name].append(
                 _decode_column(payload, chunk.encoding, dtype, chunk.rows))
@@ -236,7 +424,10 @@ def read_file(data: bytes, columns: Optional[Iterable[str]] = None,
             arrays[name] = np.concatenate(pieces[name])
         else:
             arrays[name] = np.empty(0, dtype=dtype.numpy_dtype)
-    return RecordBatch(sub_schema, arrays)
+    batch = RecordBatch(sub_schema, arrays)
+    if assembled_key is not None:
+        cache.store_assembled(assembled_key, batch)
+    return batch
 
 
 class ColumnarFile:

@@ -21,20 +21,27 @@ class DataType(enum.Enum):
     @property
     def numpy_dtype(self) -> np.dtype:
         """The numpy dtype backing this logical type."""
-        if self is DataType.INT64:
-            return np.dtype(np.int64)
-        if self is DataType.FLOAT64:
-            return np.dtype(np.float64)
-        if self is DataType.DATE:
-            return np.dtype(np.int32)
-        return np.dtype(object)  # STRING
+        return _NUMPY_DTYPES[self]
 
     @property
     def fixed_width(self) -> int | None:
         """Bytes per value for fixed-width types, ``None`` for strings."""
-        if self is DataType.STRING:
-            return None
-        return self.numpy_dtype.itemsize
+        return _FIXED_WIDTHS[self]
+
+
+#: Per-type constants, looked up by the properties above: both are hit
+#: on every column of every batch, so the dtype objects are built once.
+_NUMPY_DTYPES = {
+    DataType.INT64: np.dtype(np.int64),
+    DataType.FLOAT64: np.dtype(np.float64),
+    DataType.DATE: np.dtype(np.int32),
+    DataType.STRING: np.dtype(object),
+}
+_FIXED_WIDTHS = {
+    dtype: (None if dtype is DataType.STRING
+            else _NUMPY_DTYPES[dtype].itemsize)
+    for dtype in DataType
+}
 
 
 @dataclass(frozen=True)

@@ -50,6 +50,7 @@ LAYERS: dict[str, tuple[str, ...]] = {
               "repro.serve.metrics", "repro.serve.warm_pool"),
     "workloads": ("repro.workloads",),
     "service": ("repro.serve", "repro.serve.service", "repro.chaos.runner"),
+    "bench": ("repro.bench",),
     "app": ("repro.cli", "repro.__main__"),
 }
 
@@ -78,7 +79,11 @@ ALLOWED: dict[str, tuple[str, ...]] = {
     "service": ("util", "analysis", "sim", "network", "storage", "formats",
                 "datagen", "faas", "iaas", "pricing", "chaos", "engine",
                 "core", "serve", "workloads", "telemetry"),
+    "bench": ("util", "analysis", "sim", "network", "storage", "formats",
+              "datagen", "faas", "iaas", "pricing", "chaos", "engine",
+              "core", "serve", "workloads", "service", "telemetry"),
     "app": ("util", "analysis", "sim", "network", "storage", "formats",
             "datagen", "faas", "iaas", "pricing", "chaos", "engine",
-            "core", "serve", "workloads", "service", "lint", "telemetry"),
+            "core", "serve", "workloads", "service", "bench", "lint",
+            "telemetry"),
 }

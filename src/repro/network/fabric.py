@@ -26,6 +26,7 @@ from typing import Optional
 from repro import units
 from repro.network.shaper import TokenBucketShaper
 from repro.sim import Environment, Event
+from repro.telemetry import get_recorder
 
 #: Rate granted to a flow that crosses no finite constraint (100 Gbps).
 DEFAULT_FREE_RATE = 100 * units.Gbps
@@ -103,6 +104,12 @@ class Flow:
         self._shapers: tuple[TokenBucketShaper, ...] = tuple(
             c for c in self._constraints
             if isinstance(c, TokenBucketShaper))
+        # Opaque identity tokens for the fabric's constraint registry —
+        # used only as dict keys, never ordered. The registry pins each
+        # constraint object while it has members, so tokens cannot be
+        # reused while registered.
+        self._keys: tuple[int, ...] = tuple(
+            id(c) for c in self._constraints)  # repro-lint: disable=DET004 identity token, never ordered
 
     @property
     def remaining(self) -> float:
@@ -144,8 +151,42 @@ class Flow:
                 f"{self.transferred:.0f}B rate={self.rate:.0f}B/s>")
 
 
+class _ConstraintState:
+    """Fabric-side registry entry for one constraint with active flows.
+
+    Holds a strong reference to the constraint (so its identity token
+    stays valid while registered), the member flows, the capacity used
+    in the last allocation (drift against ``allowed_rate()`` marks the
+    constraint dirty), and — for shapers — the cached sum of member
+    rates in flow-creation order (a pure function of the members, so it
+    only needs recomputing when the member component is reallocated).
+    """
+
+    __slots__ = ("constraint", "is_shaper", "members", "capacity",
+                 "consumption")
+
+    def __init__(self, constraint: object) -> None:
+        self.constraint = constraint
+        self.is_shaper = isinstance(constraint, TokenBucketShaper)
+        self.members: set[Flow] = set()
+        self.capacity = 0.0
+        self.consumption = 0.0
+
+
 class Fabric:
-    """Event-driven fluid network simulator."""
+    """Event-driven fluid network simulator.
+
+    Rates are recomputed *incrementally*: the fabric keeps a registry of
+    constraints with active flows, marks constraints dirty when their
+    membership or allowed rate changes, and reallocates only the
+    connected components reachable from dirty constraints. Components
+    the change cannot reach keep their rates — and because the
+    per-component fill is a pure function of the component's membership
+    and capacities (canonical flow-creation order throughout), the
+    incremental allocation is bit-for-bit identical to a from-scratch
+    one (:meth:`_recompute_rates`, kept as the reference and exercised
+    against the incremental path by the property tests).
+    """
 
     def __init__(self, env: Environment,
                  default_rate: float = DEFAULT_FREE_RATE) -> None:
@@ -154,8 +195,18 @@ class Fabric:
         self._flows: set[Flow] = set()
         self._last_sync = env.now
         self._wake_version = 0
-        #: Active-flow count per shaper, for O(1) idle detection.
-        self._shaper_members: dict[TokenBucketShaper, int] = {}
+        #: Constraint registry, keyed by the flows' identity tokens.
+        self._states: dict[int, _ConstraintState] = {}
+        #: Constraint keys whose component needs reallocating.
+        self._dirty: set[int] = set()
+        #: Testing hook: force from-scratch recomputation on every
+        #: update (the reference the incremental path must match).
+        self._force_full = False
+        # With telemetry recording, shapers emit events as they advance,
+        # so the sweep must keep its historical (flow-creation) order;
+        # without a recorder the order is unobservable and the registry
+        # sweep is used. Captured at construction, like the shapers do.
+        self._ordered_sync = get_recorder().enabled
 
     # -- public API ---------------------------------------------------------
 
@@ -203,11 +254,16 @@ class Fabric:
         elapsed = now - self._last_sync
         if elapsed <= 0:
             return
-        consumption = self._shaper_consumption()
         for flow in self._flows:
             flow.transferred += flow.rate * elapsed
-        for shaper, rate in consumption.items():
-            shaper.advance(now, elapsed, rate)
+        if self._ordered_sync:
+            for shaper, rate in self._shaper_consumption().items():
+                shaper.advance(now, elapsed, rate)
+        else:
+            for state in self._states.values():
+                if state.is_shaper:
+                    state.constraint.advance(now, elapsed,
+                                             state.consumption)
         self._last_sync = now
 
     def total_rate(self) -> float:
@@ -218,34 +274,57 @@ class Fabric:
 
     def _add_flow(self, flow: Flow) -> Flow:
         self.sync_now()
+        now = self.env.now
+        states = self._states
+        dirty = self._dirty
         for shaper in flow.shapers():
-            shaper.on_activate(self.env.now)
-            self._shaper_members[shaper] = \
-                self._shaper_members.get(shaper, 0) + 1
+            shaper.on_activate(now)
+        for constraint, key in zip(flow.constraints(), flow._keys):
+            state = states.get(key)
+            if state is None:
+                states[key] = state = _ConstraintState(constraint)
+            state.members.add(flow)
+            dirty.add(key)
         self._flows.add(flow)
+        if not flow._keys:
+            # Crosses no finite constraint: the free rate, immediately
+            # (exactly what a one-flow fill with no constraints grants).
+            flow.rate = self.default_rate
         self._update()
         return flow
 
     def _shaper_consumption(self) -> dict[TokenBucketShaper, float]:
+        # Summation runs in flow-creation order: the per-shaper sum must
+        # be a pure function of the shaper's member set so the cached
+        # (incremental) and from-scratch paths produce identical floats.
         consumption: dict[TokenBucketShaper, float] = {}
-        for flow in self._flows:
+        for flow in sorted(self._flows, key=lambda f: f.id):
             for shaper in flow.shapers():
                 consumption[shaper] = (consumption.get(shaper, 0.0)
                                        + flow.rate)
         return consumption
 
     def _finish(self, flow: Flow) -> None:
-        flow.finished_at = self.env.now
+        now = self.env.now
+        flow.finished_at = now
         flow.rate = 0.0
         self._flows.discard(flow)
-        # Idle-refill shapers that just lost their last flow.
-        for shaper in flow.shapers():
-            count = self._shaper_members.get(shaper, 1) - 1
-            if count <= 0:
-                self._shaper_members.pop(shaper, None)
-                shaper.on_idle(self.env.now)
+        states = self._states
+        dirty = self._dirty
+        for constraint, key in zip(flow.constraints(), flow._keys):
+            state = states.get(key)
+            if state is None:
+                continue
+            state.members.discard(flow)
+            if state.members:
+                dirty.add(key)
             else:
-                self._shaper_members[shaper] = count
+                # Last member gone: drop the registry entry (releasing
+                # the identity pin) and idle-refill shapers.
+                del states[key]
+                dirty.discard(key)
+                if state.is_shaper:
+                    constraint.on_idle(now)
         flow.done.succeed(flow)
 
     def _update(self) -> None:
@@ -257,56 +336,73 @@ class Fabric:
             if flow.size is not None:
                 flow.transferred = flow.size
             self._finish(flow)
-        self._recompute_rates()
+        if self._force_full:
+            self._recompute_rates()
+        else:
+            self._recompute_dirty()
         self._schedule_wake()
 
-    def _recompute_rates(self) -> None:
-        """Max-min fair allocation across all active flows.
+    def _recompute_dirty(self) -> None:
+        """Reallocate only the components a change can have affected.
 
-        Flows that share no constraint are independent; the allocation
-        decomposes into connected components (constraint-sharing groups)
-        and progressive filling runs per component. With hundreds of
-        workers each behind their own shaper this turns a quadratic
-        global solve into near-linear work.
+        Dirty seeds are constraints whose membership changed since the
+        last allocation plus shapers whose ``allowed_rate()`` drifted
+        from the capacity used then (budget exhaustion, grant arrival,
+        idle refill, chaos degradation). The affected region is the
+        union of the connected components containing a seed; everything
+        outside it kept both its membership and its capacities, so its
+        previous rates are exactly what a full recompute would produce.
         """
-        flows = list(self._flows)
-        if not flows:
+        states = self._states
+        dirty = self._dirty
+        for key, state in states.items():
+            if (state.is_shaper
+                    and state.constraint.allowed_rate() != state.capacity):
+                dirty.add(key)
+        if not dirty:
             return
-        members: dict[int, set[Flow]] = {}
-        capacity_of: dict[int, float] = {}
-        flow_constraints: dict[Flow, list[int]] = {}
-        for flow in flows:
-            ids = []
-            for constraint in flow.constraints():
-                # Opaque identity token: used only as a dict key, never
-                # ordered — iteration order is insertion (discovery) order.
-                key = id(constraint)  # repro-lint: disable=DET004 identity token, never ordered
-                if key not in members:
-                    if isinstance(constraint, TokenBucketShaper):
-                        capacity_of[key] = constraint.allowed_rate()
-                    else:
-                        capacity_of[key] = constraint.capacity
-                    members[key] = set()
-                members[key].add(flow)
-                ids.append(key)
-            flow_constraints[flow] = ids
+        self._dirty = set()
+        # Closure over the flow/constraint bipartite graph.
+        affected: set[Flow] = set()
+        stack = [key for key in dirty if key in states]
+        seen_keys = set(stack)
+        while stack:
+            for flow in states[stack.pop()].members:
+                if flow not in affected:
+                    affected.add(flow)
+                    for other in flow._keys:
+                        if other not in seen_keys:
+                            seen_keys.add(other)
+                            stack.append(other)
+        self._allocate(affected)
 
-        # Connected components over the flow/constraint bipartite graph.
+    def _recompute_rates(self) -> None:
+        """From-scratch max-min allocation over all active flows.
+
+        The reference implementation: recomputes every component. The
+        normal update path uses :meth:`_recompute_dirty`; this method
+        backs the ``_force_full`` testing hook, and the equivalence
+        property tests check the two paths produce identical rates.
+        """
+        self._dirty = set()
+        self._allocate(self._flows)
+
+    def _allocate(self, flows) -> None:
+        """Decompose ``flows`` into components and fill each.
+
+        ``flows`` must be a union of whole connected components.
+        """
         component_of: dict[Flow, int] = {}
         component_id = 0
+        states = self._states
         for seed in flows:
             if seed in component_of:
                 continue
             queue = [seed]
             component_of[seed] = component_id
             while queue:
-                flow = queue.pop()
-                for key in flow_constraints[flow]:
-                    # Sorted by creation id: Flow hashes by address, so
-                    # bare set order would vary run to run and reorder
-                    # the float arithmetic downstream.
-                    for neighbour in sorted(members[key],
-                                            key=lambda f: f.id):
+                for key in queue.pop()._keys:
+                    for neighbour in states[key].members:
                         if neighbour not in component_of:
                             component_of[neighbour] = component_id
                             queue.append(neighbour)
@@ -314,20 +410,36 @@ class Fabric:
         components: list[list[Flow]] = [[] for _ in range(component_id)]
         for flow, cid in component_of.items():
             components[cid].append(flow)
-
         for component in components:
-            self._fill_component(component, members, capacity_of,
-                                 flow_constraints)
+            # Creation-id order, not discovery order: the fill must be a
+            # pure function of the component's membership so incremental
+            # recomputation reproduces a full one bit for bit.
+            component.sort(key=lambda f: f.id)
+            self._fill_component(component)
 
-    def _fill_component(self, flows: list[Flow],
-                        members: dict[int, set[Flow]],
-                        capacity_of: dict[int, float],
-                        flow_constraints: dict[Flow, list[int]]) -> None:
-        """Progressive filling within one constraint-sharing component."""
-        remaining = {key: capacity_of[key]
-                     for flow in flows for key in flow_constraints[flow]}
-        live: dict[int, set[Flow]] = {key: members[key] & set(flows)
-                                      for key in remaining}
+    def _fill_component(self, flows: list[Flow]) -> None:
+        """Progressive filling within one constraint-sharing component.
+
+        ``flows`` must be a whole component in flow-creation order.
+        Updates each member's rate, and refreshes the component's
+        registry entries (capacity used, cached consumption sums).
+        """
+        states = self._states
+        remaining: dict[int, float] = {}
+        live: dict[int, set[Flow]] = {}
+        for flow in flows:
+            for key in flow._keys:
+                if key not in remaining:
+                    state = states[key]
+                    constraint = state.constraint
+                    if state.is_shaper:
+                        capacity = constraint.allowed_rate()
+                    else:
+                        capacity = constraint.capacity
+                    state.capacity = capacity
+                    remaining[key] = capacity
+                    # The component closure makes members ⊆ flows.
+                    live[key] = set(state.members)
         unfrozen = set(flows)
         while unfrozen:
             best_key = None
@@ -348,20 +460,40 @@ class Fabric:
             for flow in frozen_now:
                 flow.rate = best_share
                 unfrozen.discard(flow)
-                for key in flow_constraints[flow]:
+                for key in flow._keys:
                     remaining[key] -= best_share
                     live[key].discard(flow)
+        # Refresh the cached consumption sums (flow-creation order, the
+        # same partial sums _shaper_consumption computes from scratch).
+        for key in remaining:
+            state = states[key]
+            if state.is_shaper:
+                total = 0.0
+                for flow in sorted(state.members, key=lambda f: f.id):
+                    total += flow.rate
+                state.consumption = total
 
     def _schedule_wake(self) -> None:
         now = self.env.now
         wake_at = float("inf")
         # Flow completions.
         for flow in self._flows:
-            if flow.size is not None and flow.rate > 0:
-                wake_at = min(wake_at, now + flow.remaining / flow.rate)
+            rate = flow.rate
+            if flow.size is not None and rate > 0:
+                upcoming = now + max(0.0, flow.size - flow.transferred) / rate
+                if upcoming < wake_at:
+                    wake_at = upcoming
         # Shaper state changes.
-        for shaper, rate in self._shaper_consumption().items():
-            wake_at = min(wake_at, shaper.next_change(now, rate))
+        if self._ordered_sync:
+            shaper_rates = self._shaper_consumption().items()
+        else:
+            shaper_rates = ((state.constraint, state.consumption)
+                            for state in self._states.values()
+                            if state.is_shaper)
+        for shaper, rate in shaper_rates:
+            upcoming = shaper.next_change(now, rate)
+            if upcoming < wake_at:
+                wake_at = upcoming
         self._wake_version += 1
         if wake_at == float("inf"):
             return

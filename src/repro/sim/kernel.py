@@ -21,6 +21,8 @@ class Environment:
     or :meth:`step` processes events; scheduling is O(log n).
     """
 
+    __slots__ = ("_now", "_queue", "_seq", "_active_process", "_monitor")
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
@@ -46,9 +48,14 @@ class Environment:
         return self._active_process
 
     @property
+    def scheduled_events(self) -> int:
+        """Total events scheduled so far (a deterministic work counter)."""
+        return self._seq
+
+    @property
     def active_process_generator(self):
         """Generator of the active process (used for self-interrupt checks)."""
-        return self._active_process._generator if self._active_process else None
+        return self._active_process.generator if self._active_process else None
 
     # -- event factories ---------------------------------------------------
 
@@ -113,6 +120,12 @@ class Environment:
         ``until`` may be ``None`` (run until the queue is empty), a number
         (run until the clock reaches that time), or an :class:`Event` (run
         until that event is processed, returning its value).
+
+        The loop is :meth:`step` inlined with the queue and heap pop
+        bound to locals — event dispatch is the simulator's innermost
+        loop, and the per-event overhead here is what every scenario
+        pays. Pop order, clock updates, monitor hooks, and failure
+        propagation are identical to calling :meth:`step` repeatedly.
         """
         stop_event: Optional[Event] = None
         stop_time = float("inf")
@@ -123,18 +136,32 @@ class Environment:
             if stop_time < self._now:
                 raise ValueError(
                     f"until={stop_time} lies in the past (now={self._now})")
+        queue = self._queue
+        heappop = heapq.heappop
         while True:
-            if stop_event is not None and stop_event.processed:
-                if not stop_event.ok:
-                    raise stop_event.value
-                return stop_event.value
-            upcoming = self.peek()
-            if upcoming == float("inf"):
+            if stop_event is not None and stop_event.callbacks is None:
+                if not stop_event._ok:
+                    raise stop_event._value
+                return stop_event._value
+            if not queue:
                 if stop_event is not None:
                     raise SimulationError(
                         "simulation ended before the awaited event triggered")
                 return None
-            if upcoming > stop_time:
+            if queue[0][0] > stop_time:
                 self._now = stop_time
                 return None
-            self.step()
+            when, _, _, event = heappop(queue)
+            self._now = when
+            monitor = self._monitor
+            if monitor is not None:
+                monitor.on_event(when, len(queue))
+            callbacks = event.callbacks
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                if isinstance(event._value, BaseException):
+                    raise event._value
+                raise SimulationError(
+                    f"event failed with non-exception {event._value!r}")

@@ -28,6 +28,8 @@ class Request(Event):
             ...
     """
 
+    __slots__ = ("resource", "priority")
+
     def __init__(self, resource: "Resource", priority: int = 0) -> None:
         super().__init__(resource.env)
         self.resource = resource

@@ -46,19 +46,26 @@ class LatencyModel:
             raise ValueError("p95 must be >= median")
         if not 0 <= self.tail_probability < 1:
             raise ValueError("tail_probability must be in [0, 1)")
+        # Distribution parameters are fixed for the model's lifetime but
+        # were recomputed (two ``math.log`` calls) on every sample — and
+        # first-byte latency is drawn once per simulated request. The
+        # dataclass is frozen, so stash them via object.__setattr__.
+        if self.p95 == self.median:
+            sigma = 0.0
+        else:
+            # For X ~ LogNormal(mu, sigma): p95 = median * exp(1.645 * sigma).
+            sigma = math.log(self.p95 / self.median) / 1.6448536269514722
+        object.__setattr__(self, "_sigma", sigma)
+        object.__setattr__(self, "_mu", math.log(self.median))
 
     @property
     def sigma(self) -> float:
         """Lognormal shape parameter implied by the median/p95 pair."""
-        if self.p95 == self.median:
-            return 0.0
-        # For X ~ LogNormal(mu, sigma): p95 = median * exp(1.645 * sigma).
-        return math.log(self.p95 / self.median) / 1.6448536269514722
+        return self._sigma
 
     def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
         """Draw ``size`` latencies (seconds) as a numpy array."""
-        mu = math.log(self.median)
-        body = rng.lognormal(mean=mu, sigma=self.sigma, size=size)
+        body = rng.lognormal(mean=self._mu, sigma=self._sigma, size=size)
         if self.tail_probability > 0:
             in_tail = rng.random(size) < self.tail_probability
             n_tail = int(in_tail.sum())
@@ -69,8 +76,17 @@ class LatencyModel:
         return np.minimum(body, self.ceiling)
 
     def sample_one(self, rng: np.random.Generator) -> float:
-        """Draw a single latency (seconds)."""
-        return float(self.sample(rng, size=1)[0])
+        """Draw a single latency (seconds).
+
+        Scalar twin of ``sample(size=1)``: it draws from ``rng`` in the
+        same order and quantity (one lognormal, one uniform when the
+        tail is enabled, one Pareto when taken), so the two paths yield
+        bit-identical streams.
+        """
+        body = rng.lognormal(mean=self._mu, sigma=self._sigma)
+        if self.tail_probability > 0 and rng.random() < self.tail_probability:
+            body = self.p95 * (1.0 + rng.pareto(self.tail_alpha))
+        return float(body) if body < self.ceiling else float(self.ceiling)
 
 
 def percentile_summary(samples: np.ndarray) -> dict[str, float]:

@@ -1,0 +1,50 @@
+"""Perf-refactor equivalence: optimized hot paths change no simulated outcome.
+
+PR 5 rewires the simulator's hot paths (kernel fast path, incremental
+max-min fabric, columnar chunk cache). These tests pin the *simulated*
+results to goldens generated before the optimization: byte-identical
+canonical JSON for the Q6 telemetry artifacts, the chaos resilience
+report, and a serving-window outcome. Only real (wall-clock) time is
+allowed to change.
+
+Regenerate after an *intentional* model change::
+
+    PYTHONPATH=src python tests/golden/regen_perf_goldens.py
+"""
+
+from pathlib import Path
+
+from tests.test_telemetry_export import record_q6
+
+from repro.chaos.runner import run_chaos_suite
+from repro.serve import default_tenant_mix, run_serving_workload
+from repro.telemetry import canonical_json, metrics_snapshot
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGEN_HINT = ("golden file missing; generate with "
+              "PYTHONPATH=src python tests/golden/regen_perf_goldens.py")
+
+
+def _golden(name: str) -> str:
+    path = GOLDEN_DIR / name
+    assert path.exists(), REGEN_HINT
+    return path.read_text()
+
+
+def test_q6_metrics_snapshot_matches_golden():
+    _, recorder = record_q6()
+    snapshot = canonical_json(metrics_snapshot(recorder)) + "\n"
+    assert snapshot == _golden("tpch_q6_metrics.json")
+
+
+def test_smoke_resilience_report_matches_golden():
+    report = run_chaos_suite("smoke", queries=("tpch-q6",), repeats=2,
+                             seed=0, baseline=False)
+    assert report.to_json() + "\n" == _golden("smoke_resilience.json")
+
+
+def test_serving_outcome_matches_golden():
+    outcome = run_serving_workload(
+        default_tenant_mix(rate_scale=6.0), policy="fair", window_s=180.0,
+        seed=1, max_concurrent_queries=1)
+    assert outcome.to_json() + "\n" == _golden("serving_fair_180s.json")

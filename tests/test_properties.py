@@ -180,3 +180,76 @@ class TestBatchInvariants:
         merged = RecordBatch.concat(batches)
         np.testing.assert_array_equal(merged.column("a"),
                                       np.arange(offset))
+
+
+class TestFabricIncrementalEquivalence:
+    """The incremental max-min allocator must be bit-for-bit identical
+    to the from-scratch reference under random arrival/departure mixes.
+    """
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_incremental_matches_full_recompute(self, data):
+        n_links = data.draw(st.integers(min_value=1, max_value=4),
+                            label="n_links")
+        caps = data.draw(st.lists(
+            st.floats(min_value=10.0, max_value=1e4),
+            min_size=n_links, max_size=n_links), label="capacities")
+        shaped = data.draw(st.booleans(), label="shaped_endpoints")
+        n_flows = data.draw(st.integers(min_value=1, max_value=12),
+                            label="n_flows")
+        specs = []
+        for i in range(n_flows):
+            start = data.draw(st.floats(min_value=0.0, max_value=5.0),
+                              label=f"start_{i}")
+            size = data.draw(st.floats(min_value=1.0, max_value=5e3),
+                             label=f"size_{i}")
+            link_ids = data.draw(st.lists(
+                st.integers(min_value=0, max_value=n_links - 1),
+                min_size=0, max_size=n_links, unique=True),
+                label=f"links_{i}")
+            # Open-ended flows are stopped explicitly, covering the
+            # departure path; bounded flows depart by finishing.
+            stop_after = data.draw(
+                st.one_of(st.none(),
+                          st.floats(min_value=0.1, max_value=3.0)),
+                label=f"stop_{i}")
+            specs.append((start, size, tuple(link_ids), stop_after))
+
+        def run(force_full):
+            env = Environment()
+            fabric = Fabric(env)
+            fabric._force_full = force_full
+            links = [fabric.link(capacity=cap, name=f"l{j}")
+                     for j, cap in enumerate(caps)]
+
+            def endpoint(name):
+                if not shaped:
+                    return fabric.endpoint(name)
+                return fabric.endpoint(name, egress=TokenBucketShaper(
+                    capacity=2e3, burst_rate=1e3, refill_rate=200.0,
+                    mode="continuous"))
+
+            flows = []
+
+            def starter(start, size, link_ids, stop_after, i):
+                yield env.timeout(start)
+                chosen = tuple(links[j] for j in link_ids)
+                if stop_after is None:
+                    flow = fabric.transfer(endpoint(f"s{i}"),
+                                           endpoint(f"d{i}"),
+                                           size=size, links=chosen)
+                    flows.append(flow)
+                    return
+                flow = fabric.open_flow(endpoint(f"s{i}"),
+                                        endpoint(f"d{i}"), links=chosen)
+                flows.append(flow)
+                yield env.timeout(stop_after)
+                fabric.stop_flow(flow)
+
+            for i, spec in enumerate(specs):
+                env.process(starter(*spec, i), name=f"flow-{i}")
+            env.run()
+            return [(f.transferred, f.finished_at) for f in flows]
+
+        assert run(False) == run(True)
