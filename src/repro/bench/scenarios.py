@@ -1,6 +1,6 @@
 """The perf macro-scenarios: what `repro bench` measures.
 
-Three workloads cover the simulator's hot paths end to end:
+Four workloads cover the simulator's hot paths end to end:
 
 * ``serving`` — the :mod:`examples/multi_tenant_serving` workload: the
   3-tenant Poisson mix at 6x overload, run under FIFO and weighted fair
@@ -14,6 +14,9 @@ Three workloads cover the simulator's hot paths end to end:
 * ``chaos-q12`` — the shuffle-heavy Q12 under the ``demo-outage`` fault
   plan with recovery on. Exercises retries/hedges, shuffle slice reads,
   and the aggregate operators.
+* ``futures-mapreduce`` — the futures wordcount over a byte-range
+  partitioned S3 prefix. Exercises the futures executor/invoker fan-out,
+  ranged storage reads, and per-future cost accounting.
 
 Every scenario returns a dict of *deterministic* check values (query
 counts, simulated runtimes, costs, scheduled-event counts). They must be
@@ -125,6 +128,29 @@ def _build_chaos_q12(smoke: bool) -> Callable[[], dict]:
     return body
 
 
+# -- futures map-reduce --------------------------------------------------------
+
+def _build_futures_mapreduce(smoke: bool) -> Callable[[], dict]:
+    from repro.futures.workloads import run_wordcount
+
+    objects = 16 if smoke else 64
+    chunks_per_object = 4 if smoke else 8
+
+    def body() -> dict:
+        outcome = run_wordcount(seed=7, objects=objects,
+                                chunks_per_object=chunks_per_object)
+        return {
+            "chunks": outcome["chunks"],
+            "records": outcome["records"],
+            "runtime_s": outcome["runtime_s"],
+            "total_cost_usd": outcome["total_cost_usd"],
+            "cost_check": outcome["cost_check"],
+            "digest": outcome["digest"],
+        }
+
+    return body
+
+
 SCENARIOS: dict[str, Scenario] = {
     "serving": Scenario(
         name="serving",
@@ -138,4 +164,9 @@ SCENARIOS: dict[str, Scenario] = {
         name="chaos-q12",
         description="shuffle-heavy Q12 under the demo-outage fault plan",
         build=_build_chaos_q12),
+    "futures-mapreduce": Scenario(
+        name="futures-mapreduce",
+        description="futures map-reduce wordcount over a partitioned "
+                    "S3 prefix",
+        build=_build_futures_mapreduce),
 }

@@ -105,6 +105,18 @@ FAULT_PLANS: dict[str, FaultPlan] = {
                       probability=0.3, start_s=0.0, end_s=5.0,
                       max_events=16),
         )),
+    "futures-chaos": FaultPlan(
+        name="futures-chaos",
+        description="Chaos regime for futures jobs: sporadic worker "
+                    "crashes the invoker retries, plus a SlowDown window "
+                    "on partitioned-object reads.",
+        specs=(
+            FaultSpec(kind="worker_crash", function="futures-worker",
+                      probability=0.2, delay_s=0.05, max_events=8),
+            FaultSpec(kind="storage_slowdown", operation="get",
+                      probability=0.3, start_s=0.0, end_s=10.0,
+                      max_events=32),
+        )),
     "smoke": FaultPlan(
         name="smoke",
         description="Short deterministic plan for the CI smoke job.",

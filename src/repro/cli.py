@@ -10,6 +10,7 @@ JSON results come out, and the plotter renders what it can. Usage::
     python -m repro serve --policy fair       # multi-tenant serving run
     python -m repro chaos --plan demo-outage  # fault-injected suite run
     python -m repro trace --query tpch-q12    # Perfetto trace of one query
+    python -m repro futures --workload sweep  # futures/map-reduce workload
     python -m repro metrics --query tpch-q12  # telemetry dashboard
     python -m repro lint --strict             # determinism/architecture gate
     python -m repro bench --smoke             # perf macro-benchmark gate
@@ -200,6 +201,68 @@ def _run_metrics(args) -> int:
     return 0
 
 
+def _run_futures(args) -> int:
+    """Run a futures workload (or the CI smoke gate) and print its outcome."""
+    from repro.chaos.plan import get_plan
+    from repro.futures.workloads import run_sweep, run_wordcount
+    from repro.telemetry.export import canonical_json
+
+    try:
+        plan = get_plan(args.plan) if args.plan else None
+        if args.smoke:
+            # CI gate: the acceptance-criterion wordcount (>= 64 chunks)
+            # must be byte-deterministic across two runs, with the
+            # per-future cost sum matching the pricing-catalog total.
+            first = run_wordcount(seed=args.seed, plan=plan)
+            second = run_wordcount(seed=args.seed, plan=plan)
+            if first != second:
+                print("repro futures --smoke: FAIL: outcome is not "
+                      "deterministic across identical runs",
+                      file=sys.stderr)
+                return 1
+            if first["chunks"] < 64:
+                print(f"repro futures --smoke: FAIL: only "
+                      f"{first['chunks']} chunks (need >= 64)",
+                      file=sys.stderr)
+                return 1
+            if first["cost_check"] != "ok":
+                print("repro futures --smoke: FAIL: per-future cost sum "
+                      "does not match the pricing-catalog total",
+                      file=sys.stderr)
+                return 1
+            if first["states"]["error"] or first["states"]["running"] \
+                    or first["states"]["pending"]:
+                print(f"repro futures --smoke: FAIL: open or failed "
+                      f"calls: {first['states']}", file=sys.stderr)
+                return 1
+            print(f"smoke OK: wordcount over {first['chunks']} chunks, "
+                  f"{first['records']} records, digest {first['digest']}, "
+                  f"cost check {first['cost_check']}")
+            return 0
+        if args.workload == "wordcount":
+            outcome = run_wordcount(seed=args.seed, objects=args.objects,
+                                    chunks_per_object=args.chunks_per_object,
+                                    plan=plan, speculate=args.speculate)
+        else:
+            outcome = run_sweep(seed=args.seed, points=args.points,
+                                plan=plan, speculate=args.speculate)
+    except (KeyError, ValueError) as exc:
+        print(f"repro futures: error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(canonical_json(outcome))
+    else:
+        print(f"{outcome['workload']}: runtime {outcome['runtime_s']:.3f}s, "
+              f"total cost ${outcome['total_cost_usd']:.6f} "
+              f"(check: {outcome['cost_check']})")
+        print(f"  states {outcome['states']}, retries {outcome['retries']}, "
+              f"speculations {outcome['speculations']}")
+        if outcome["faults"]:
+            print(f"  faults {outcome['faults']}")
+        print(f"  digest {outcome['digest']}")
+    return 0
+
+
 def _run_lint(args) -> int:
     """Run the determinism/architecture static-analysis pass."""
     from repro.lint.cli import run_lint
@@ -284,6 +347,29 @@ def main(argv: list[str] | None = None) -> int:
     trace.add_argument("--smoke", action="store_true",
                        help="CI gate: trace tpch-q6, validate that the "
                             "Chrome trace and metrics snapshot parse")
+    futures = commands.add_parser(
+        "futures", help="run a futures/map-reduce workload scenario")
+    futures.add_argument("--workload", default="wordcount",
+                         choices=("wordcount", "sweep"),
+                         help="scenario to run (default: wordcount)")
+    futures.add_argument("--seed", type=int, default=7,
+                         help="RNG seed (fixed seed -> identical outcome)")
+    futures.add_argument("--objects", type=int, default=16,
+                         help="corpus objects for wordcount")
+    futures.add_argument("--chunks-per-object", type=int, default=4,
+                         help="byte-range chunks per corpus object")
+    futures.add_argument("--points", type=int, default=24,
+                         help="grid points for the parameter sweep")
+    futures.add_argument("--plan", default=None,
+                         help="fault plan to inject (e.g. futures-chaos)")
+    futures.add_argument("--speculate", action="store_true",
+                         help="enable speculative re-invocation of "
+                              "stragglers")
+    futures.add_argument("--json", action="store_true",
+                         help="print the canonical JSON outcome")
+    futures.add_argument("--smoke", action="store_true",
+                         help="CI gate: 64-chunk wordcount, fail on "
+                              "nondeterminism or cost mismatch")
     metrics = commands.add_parser(
         "metrics", help="run one query with telemetry and show a dashboard")
     metrics.add_argument("--query", default="tpch-q12",
@@ -314,6 +400,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_chaos(args)
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "futures":
+        return _run_futures(args)
     if args.command == "metrics":
         return _run_metrics(args)
 

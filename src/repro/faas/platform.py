@@ -189,6 +189,7 @@ class LambdaPlatform:
             self._note_busy()
         sandbox, cold = self._assign(config)
         sandbox.busy = True
+        lost = False
         try:
             startup_began = self.env.now
             if cold:
@@ -232,6 +233,7 @@ class LambdaPlatform:
                             handler_process.interrupt("sandbox lost")
                             handler_process.defuse()
                             error = fault.make_error()
+                            lost = True
                     else:
                         response = yield handler_process
                 except BaseException as exc:  # noqa: BLE001 - recorded, re-raised
@@ -250,7 +252,11 @@ class LambdaPlatform:
             sandbox.busy = False
             sandbox.last_used_at = self.env.now
             sandbox.invocations += 1
-            self._warm[name].append(sandbox)
+            if not lost:
+                # A sandbox reclaimed by a sandbox_loss fault is gone —
+                # re-pooling it would let a later invocation warmstart
+                # on infrastructure that no longer exists.
+                self._warm[name].append(sandbox)
             self._busy -= 1
             if self._telemetry is not None:
                 self._note_busy()

@@ -44,6 +44,7 @@ LAYERS: dict[str, tuple[str, ...]] = {
     "faas": ("repro.faas",),
     "iaas": ("repro.iaas",),
     "chaos": ("repro.chaos",),
+    "futures": ("repro.futures",),
     "engine": ("repro.engine",),
     "core": ("repro.core",),
     "serve": ("repro.serve.gateway", "repro.serve.scheduler",
@@ -69,6 +70,8 @@ ALLOWED: dict[str, tuple[str, ...]] = {
     "faas": ("util", "sim", "network", "pricing", "telemetry"),
     "iaas": ("util", "sim", "network", "pricing", "faas"),
     "chaos": ("util", "sim", "storage", "telemetry"),
+    "futures": ("util", "sim", "network", "storage", "pricing", "faas",
+                "chaos", "telemetry"),
     "engine": ("util", "sim", "network", "storage", "formats", "datagen",
                "faas", "pricing", "telemetry"),
     "core": ("util", "sim", "network", "storage", "faas", "iaas",
@@ -80,10 +83,11 @@ ALLOWED: dict[str, tuple[str, ...]] = {
                 "datagen", "faas", "iaas", "pricing", "chaos", "engine",
                 "core", "serve", "workloads", "telemetry"),
     "bench": ("util", "analysis", "sim", "network", "storage", "formats",
-              "datagen", "faas", "iaas", "pricing", "chaos", "engine",
-              "core", "serve", "workloads", "service", "telemetry"),
+              "datagen", "faas", "iaas", "pricing", "chaos", "futures",
+              "engine", "core", "serve", "workloads", "service",
+              "telemetry"),
     "app": ("util", "analysis", "sim", "network", "storage", "formats",
-            "datagen", "faas", "iaas", "pricing", "chaos", "engine",
-            "core", "serve", "workloads", "service", "bench", "lint",
-            "telemetry"),
+            "datagen", "faas", "iaas", "pricing", "chaos", "futures",
+            "engine", "core", "serve", "workloads", "service", "bench",
+            "lint", "telemetry"),
 }

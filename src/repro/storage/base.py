@@ -207,6 +207,38 @@ class StorageService:
         self.stats.record(RequestType.GET, "ok", nbytes=obj.size)
         return obj
 
+    def get_range(self, key: str, offset: float, length: float,
+                  endpoint: Optional[Endpoint] = None):
+        """Process: read ``length`` bytes of ``key`` starting at ``offset``.
+
+        The simulated ranged GET (``Range: bytes=...``): billed and
+        admitted like any GET, but only the requested bytes cross the
+        fabric. The range is clamped to the object's logical size, so a
+        tail chunk shorter than the request succeeds with fewer bytes.
+        Returns a :class:`StorageObject` view whose ``size`` is the
+        byte count actually read; the payload is sliced when the object
+        physically materializes its logical bytes, and shared otherwise.
+        """
+        if offset < 0 or length < 0:
+            raise ValueError(f"range [{offset}, +{length}) is invalid")
+        self.check_fault(RequestType.GET, key)
+        self._admit_one(RequestType.GET, key)
+        obj = self._objects.get(key)
+        if obj is None:
+            self.stats.record(RequestType.GET, "missing")
+            raise NoSuchKey(key)
+        nbytes = max(0.0, min(float(length), obj.size - offset))
+        latency = self.read_latency.sample_one(self._rng)
+        yield self.env.timeout(latency)
+        yield from self._transfer(RequestType.GET, nbytes, endpoint)
+        self.stats.record(RequestType.GET, "ok", nbytes=nbytes)
+        payload = obj.payload
+        if isinstance(payload, (bytes, bytearray, str)) \
+                and len(payload) == obj.size:
+            payload = payload[int(offset):int(offset + nbytes)]
+        return StorageObject(key=key, payload=payload, size=nbytes,
+                             created_at=obj.created_at, version=obj.version)
+
     def put(self, key: str, payload: Any, size: Optional[float] = None,
             endpoint: Optional[Endpoint] = None):
         """Process: write ``payload`` under ``key``.

@@ -69,22 +69,33 @@ class RetryingClient:
         result = yield from self._with_retries("get", key, None, None)
         return result
 
+    def get_range(self, key: str, offset: float, length: float):
+        """Process: ranged read with retries. Returns the StorageObject."""
+        result = yield from self._with_retries("get-range", key, None, None,
+                                               offset=offset, length=length)
+        return result
+
     def put(self, key: str, payload, size: Optional[float] = None):
         """Process: write ``key`` with retries. Returns the StorageObject."""
         result = yield from self._with_retries("put", key, payload, size)
         return result
 
-    def _attempt(self, op: str, key: str, payload, size):
+    def _attempt(self, op: str, key: str, payload, size, offset, length):
         if op == "get":
             return self.service.get(key, endpoint=self.endpoint)
+        if op == "get-range":
+            return self.service.get_range(key, offset, length,
+                                          endpoint=self.endpoint)
         return self.service.put(key, payload, size=size, endpoint=self.endpoint)
 
-    def _with_retries(self, op: str, key: str, payload, size):
+    def _with_retries(self, op: str, key: str, payload, size,
+                      offset: float = 0.0, length: float = 0.0):
         last_error: Optional[StorageError] = None
         for attempt in range(1, self.policy.max_attempts + 1):
             self.stats.attempts += 1
             try:
-                result = yield from self._timed(op, key, payload, size)
+                result = yield from self._timed(op, key, payload, size,
+                                                offset, length)
                 self.stats.successes += 1
                 return result
             except RequestTimeout as exc:
@@ -102,14 +113,19 @@ class RetryingClient:
         self.stats.giveups += 1
         raise last_error if last_error is not None else RequestTimeout(key)
 
-    def _timed(self, op: str, key: str, payload, size):
+    def _timed(self, op: str, key: str, payload, size, offset=0.0,
+               length=0.0):
         """Race one service request against the client timeout."""
         if self.fault_hook is not None:
-            error = self.fault_hook(op, key, self.env.now)
+            # Ranged reads classify as plain GETs for fault targeting,
+            # so chaos plans written against "get" cover both.
+            hook_op = "get" if op.startswith("get") else op
+            error = self.fault_hook(hook_op, key, self.env.now)
             if error is not None:
                 raise error
-        request = self.env.process(self._attempt(op, key, payload, size),
-                                   name=f"storage-{op}")
+        request = self.env.process(
+            self._attempt(op, key, payload, size, offset, length),
+            name=f"storage-{op}")
         deadline = self.env.timeout(self.policy.request_timeout)
         yield AnyOf(self.env, [request, deadline])
         if request.processed:

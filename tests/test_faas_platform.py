@@ -210,3 +210,97 @@ class TestRegions:
     def test_cold_variability_exceeds_warm_in_us(self):
         profile = REGIONS["us-east-1"]
         assert profile.cold_cov > profile.warm_cov
+
+
+class TestAsyncInvocation:
+    """Regression coverage for the async invocation path."""
+
+    def test_async_error_captured_on_record_not_raised(self):
+        env, platform = make_platform()
+
+        def failing(context, payload):
+            yield context.env.timeout(0.001)
+            raise RuntimeError("handler blew up")
+
+        platform.deploy(FunctionConfig(name="bad", handler=failing))
+        record = run(env, platform.invoke_async("bad"))
+        assert isinstance(record.error, RuntimeError)
+        assert not record.ok
+        assert record.response is None
+
+    def test_fire_and_forget_failure_does_not_crash_kernel(self):
+        env, platform = make_platform()
+
+        def failing(context, payload):
+            yield context.env.timeout(0.001)
+            raise RuntimeError("nobody is watching")
+
+        platform.deploy(FunctionConfig(name="bad", handler=failing))
+        # Launch without awaiting: the failure must be absorbed into
+        # the record, never surfacing as an unwatched process crash.
+        env.process(platform.invoke_async("bad"))
+
+        def bystander(env):
+            yield env.timeout(5.0)
+            return "alive"
+
+        assert run(env, bystander(env)) == "alive"
+        assert platform.records[-1].error is not None
+
+    def test_out_of_order_completion_records_by_finish_time(self):
+        env, platform = make_platform()
+
+        def napper(context, payload):
+            yield context.env.timeout(payload["sleep_s"])
+            return payload["tag"]
+
+        platform.deploy(FunctionConfig(name="nap", handler=napper))
+
+        def scenario(env):
+            procs = [env.process(platform.invoke_async(
+                "nap", {"sleep_s": sleep, "tag": tag}))
+                for tag, sleep in (("slow", 0.6), ("fast", 0.1),
+                                   ("mid", 0.3))]
+            records = []
+            for proc in procs:
+                record = yield proc
+                records.append(record)
+            return records
+
+        records = run(env, scenario(env))
+        # Each caller gets its own record with the right response...
+        assert [r.response for r in records] == ["slow", "fast", "mid"]
+        # ...while the platform log is ordered by completion time.
+        logged = [r.response for r in platform.records]
+        assert logged == ["fast", "mid", "slow"]
+        finishes = [r.finished_at for r in platform.records]
+        assert finishes == sorted(finishes)
+
+
+class TestSandboxLossReclamation:
+    def test_lost_sandbox_never_returns_to_warm_pool(self):
+        from repro.chaos import FaultInjector, FaultPlan, FaultSpec
+        from repro.sim import RandomStreams as Streams
+
+        env, platform = make_platform()
+
+        def slow(context, payload):
+            yield context.env.timeout(1.0)
+            return "done"
+
+        platform.deploy(FunctionConfig(name="slow", handler=slow))
+        plan = FaultPlan(
+            name="one-loss",
+            specs=(FaultSpec(kind="sandbox_loss", function="slow",
+                             probability=1.0, after_s=0.1,
+                             max_events=1),))
+        FaultInjector(plan, Streams(seed=5)).install(platform=platform)
+
+        first = run(env, platform.invoke_async("slow"))
+        assert first.error is not None  # reclaimed mid-flight
+        # The reclaimed sandbox must not serve a warm start: the next
+        # invocation lands on fresh infrastructure.
+        second = run(env, platform.invoke("slow"))
+        assert second.cold
+        assert second.sandbox_id != first.sandbox_id
+        assert second.error is None
