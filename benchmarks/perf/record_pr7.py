@@ -1,0 +1,84 @@
+"""Record the PR 7 sharded-vs-unsharded comparison into BENCH_PR7.json.
+
+Runs the full million-tenant Zipf trace twice through the sharded
+fabric (router + rebalancer; failure injection off, since the
+monolithic baseline has no failure story to compare) and twice through
+one monolithic gateway of equal starting capacity:
+
+* an untimed-instrumentation pass measuring wall clock -> events/sec;
+* a ``tracemalloc`` pass measuring peak traced allocation -> peak MB
+  (walls of that pass are not recorded — tracing skews them).
+
+The result lands under the ``sharded_vs_unsharded`` top-level key of
+``BENCH_PR7.json`` next to the scenario slots the bench harness owns.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/record_pr7.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro.shard import ReplayConfig, run_replay, run_unsharded_replay
+
+BASELINE = Path(__file__).resolve().parent / "BENCH_PR7.json"
+
+
+def _measure(label: str, runner, config: ReplayConfig) -> dict:
+    start = time.perf_counter()
+    runner(config)
+    wall_s = time.perf_counter() - start
+
+    tracemalloc.start()
+    outcome = runner(config)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    completed = outcome.report["completed"] if hasattr(outcome, "report") \
+        else outcome["completed"]
+    row = {
+        "wall_s": round(wall_s, 6),
+        "events_per_s": round(config.events / wall_s, 1),
+        "peak_traced_mb": round(peak / 1e6, 2),
+        "completed": completed,
+    }
+    print(f"{label:>9}: {row['events_per_s']:>9.1f} events/s, "
+          f"peak {row['peak_traced_mb']:.1f} MB, "
+          f"completed {completed}")
+    return row
+
+
+def main() -> None:
+    # No failure injection here: the unsharded gateway has no failure
+    # story to compare against, so both sides replay the pure trace.
+    config = ReplayConfig()
+    sharded = _measure("sharded", run_replay, config)
+    unsharded = _measure("unsharded", run_unsharded_replay, config)
+
+    baseline = json.loads(BASELINE.read_text())
+    baseline["sharded_vs_unsharded"] = {
+        "config": {"tenants": config.tenants, "events": config.events,
+                   "window_s": config.window_s, "seed": config.seed,
+                   "zipf_s": config.zipf_s},
+        "python": platform.python_version(),
+        "sharded": sharded,
+        "unsharded": unsharded,
+        "note": "equal starting capacity (shards*slots slots, summed "
+                "pending bound); the sharded side may then split hot "
+                "shards, which is why it completes more of the trace. "
+                "Walls are untraced runs, peaks are tracemalloc-traced "
+                "runs.",
+    }
+    BASELINE.write_text(json.dumps(baseline, indent=2, sort_keys=True)
+                        + "\n")
+    print(f"recorded sharded_vs_unsharded -> {BASELINE}")
+
+
+if __name__ == "__main__":
+    main()

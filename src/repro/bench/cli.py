@@ -5,7 +5,7 @@ Usage::
     repro bench                         # measure all scenarios (full size)
     repro bench --smoke                 # small variants + CI gate
     repro bench --scenario serving      # one scenario only
-    repro bench --record before         # write results into BENCH_PR5.json
+    repro bench --record before         # write results into BENCH_PR7.json
     repro bench --record after --smoke  # and the smoke slot
 
 Without ``--record``, measurements are printed and (in ``--smoke``)
@@ -20,7 +20,7 @@ from __future__ import annotations
 import sys
 from pathlib import Path
 
-DEFAULT_BASELINE = Path("benchmarks/perf/BENCH_PR5.json")
+DEFAULT_BASELINE = Path("benchmarks/perf/BENCH_PR7.json")
 
 
 def add_bench_arguments(parser) -> None:

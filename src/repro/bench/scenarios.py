@@ -17,6 +17,12 @@ Four workloads cover the simulator's hot paths end to end:
 * ``futures-mapreduce`` — the futures wordcount over a byte-range
   partitioned S3 prefix. Exercises the futures executor/invoker fan-out,
   ranged storage reads, and per-future cost accounting.
+* ``sharded-serving`` — a Zipf trace over a million distinct tenants
+  replayed through the sharded serving fabric (router, epoch-fenced
+  rebalancing, one injected shard failure). Its ``full_scans`` check
+  pins the per-event cost to O(1) in tenant count: the replay counts
+  every full iteration over a tenant-keyed dict and the committed
+  value is zero.
 
 Every scenario returns a dict of *deterministic* check values (query
 counts, simulated runtimes, costs, scheduled-event counts). They must be
@@ -151,6 +157,33 @@ def _build_futures_mapreduce(smoke: bool) -> Callable[[], dict]:
     return body
 
 
+# -- sharded serving -----------------------------------------------------------
+
+def _build_sharded_serving(smoke: bool) -> Callable[[], dict]:
+    from repro.shard import ReplayConfig, run_replay
+
+    config = ReplayConfig(fail_at=(150.0,), fault_plan="shard-failure")
+    if smoke:
+        config = config.smoke()
+
+    def body() -> dict:
+        result = run_replay(config)
+        report = result.report
+        return {
+            "distinct_tenants": result.distinct_tenants,
+            "completed": report["completed"],
+            "shed": report["shed"],
+            "recovered": report["recovered"],
+            "balanced": report["balanced"],
+            "full_scans": result.full_scans,
+            "failures": result.failures_injected,
+            "shards_final": result.shards_final,
+            "digest": result.digest()[:16],
+        }
+
+    return body
+
+
 SCENARIOS: dict[str, Scenario] = {
     "serving": Scenario(
         name="serving",
@@ -169,4 +202,9 @@ SCENARIOS: dict[str, Scenario] = {
         description="futures map-reduce wordcount over a partitioned "
                     "S3 prefix",
         build=_build_futures_mapreduce),
+    "sharded-serving": Scenario(
+        name="sharded-serving",
+        description="million-tenant Zipf replay over the sharded "
+                    "serving fabric (rebalance + shard failure)",
+        build=_build_sharded_serving),
 }

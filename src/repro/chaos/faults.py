@@ -24,6 +24,7 @@ FAULT_KINDS = (
     "storage_slowdown",  # S3-style 503 SlowDown on get/put
     "storage_timeout",   # request lost; client sees a timeout
     "network_degrade",   # sandbox NIC shaped down by ``factor``
+    "shard_failure",     # a serving-fleet gateway shard dies outright
 )
 
 #: Fault kinds decided per function invocation.
@@ -31,6 +32,8 @@ INVOKE_KINDS = ("worker_crash", "sandbox_loss", "invoke_straggler",
                 "invoke_throttle")
 #: Fault kinds decided per storage request.
 STORAGE_KINDS = ("storage_slowdown", "storage_timeout")
+#: Fault kinds decided per serving-fleet shard at the control cadence.
+SHARD_KINDS = ("shard_failure",)
 
 
 class InjectedFault(Exception):
@@ -69,6 +72,8 @@ class FaultSpec:
     pipeline: Optional[str] = None
     #: Target operation for storage kinds: "get", "put", or ``None``.
     operation: Optional[str] = None
+    #: Target shard id for shard kinds; ``None`` matches any shard.
+    shard: Optional[str] = None
     #: Key prefix filter for storage kinds ("" matches every key).
     key_prefix: str = ""
     #: Active window in simulated seconds.
@@ -114,4 +119,8 @@ class FaultSpec:
             out["end_s"] = None
         if out["max_events"] is None:
             del out["max_events"]
+        if out["shard"] is None:
+            # Omitted when untargeted so pre-sharding reports keep
+            # their exact shape.
+            del out["shard"]
         return out

@@ -12,7 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.chaos.faults import INVOKE_KINDS, STORAGE_KINDS, FaultSpec
+from repro.chaos.faults import (
+    INVOKE_KINDS,
+    SHARD_KINDS,
+    STORAGE_KINDS,
+    FaultSpec,
+)
 from repro.chaos.plan import FaultPlan
 from repro.sim import RandomStreams
 from repro.storage.errors import SlowDown, StorageError
@@ -169,6 +174,28 @@ class FaultInjector:
             self._fire(index, spec, now, f"{op} {key}", "")
             return self._storage_error(spec, op, key)
         return None
+
+    def on_shard(self, shard: str, now: float) -> bool:
+        """Fleet hook: whether this gateway shard dies now.
+
+        Polled by the sharded-serving control loop once per shard per
+        control interval. A strike means the shard is removed from the
+        fleet; the partition directory reassigns its ranges and the
+        router re-homes its backlog — the conservation check in the
+        fleet roll-up proves no admitted query was lost.
+        """
+        for index, spec in enumerate(self.plan.specs):
+            if spec.kind not in SHARD_KINDS:
+                continue
+            if spec.shard is not None and spec.shard != shard:
+                continue
+            if not self._eligible(index, spec, now):
+                continue
+            if not self._draw(index, spec):
+                continue
+            self._fire(index, spec, now, shard, "shard removed")
+            return True
+        return False
 
     @staticmethod
     def _storage_error(spec: FaultSpec, op: str, key: str) -> StorageError:

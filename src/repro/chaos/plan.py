@@ -117,6 +117,16 @@ FAULT_PLANS: dict[str, FaultPlan] = {
                       probability=0.3, start_s=0.0, end_s=10.0,
                       max_events=32),
         )),
+    "shard-failure": FaultPlan(
+        name="shard-failure",
+        description="Serving-fleet shard loss: one gateway shard dies "
+                    "mid-run; the directory reassigns its ranges and "
+                    "every admitted query must be completed, shed with "
+                    "a metric, or recovered.",
+        specs=(
+            FaultSpec(kind="shard_failure", probability=0.5,
+                      start_s=60.0, max_events=1),
+        )),
     "smoke": FaultPlan(
         name="smoke",
         description="Short deterministic plan for the CI smoke job.",

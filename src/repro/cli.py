@@ -11,6 +11,7 @@ JSON results come out, and the plotter renders what it can. Usage::
     python -m repro chaos --plan demo-outage  # fault-injected suite run
     python -m repro trace --query tpch-q12    # Perfetto trace of one query
     python -m repro futures --workload sweep  # futures/map-reduce workload
+    python -m repro shard --smoke             # sharded-serving replay gate
     python -m repro metrics --query tpch-q12  # telemetry dashboard
     python -m repro lint --strict             # determinism/architecture gate
     python -m repro bench --smoke             # perf macro-benchmark gate
@@ -263,6 +264,83 @@ def _run_futures(args) -> int:
     return 0
 
 
+def _run_shard(args) -> int:
+    """Run the sharded-serving replay (or the CI smoke gate)."""
+    from repro.shard import ReplayConfig, run_replay
+    from repro.telemetry import canonical_json
+
+    try:
+        if args.smoke:
+            # CI gate: the >=100k-tenant smoke replay (with one injected
+            # shard failure) must be byte-deterministic across two runs,
+            # must never walk a tenant-sized structure on the hot path,
+            # and must account for every admitted query.
+            config = ReplayConfig(seed=args.seed).smoke()
+            first = run_replay(config)
+            second = run_replay(config)
+            report = first.report
+            if first.digest() != second.digest():
+                print("repro shard --smoke: FAIL: replay is not "
+                      "deterministic across identical runs",
+                      file=sys.stderr)
+                return 1
+            if first.distinct_tenants < 100_000:
+                print(f"repro shard --smoke: FAIL: only "
+                      f"{first.distinct_tenants} distinct tenants "
+                      f"(need >= 100000)", file=sys.stderr)
+                return 1
+            if first.full_scans:
+                print(f"repro shard --smoke: FAIL: {first.full_scans} "
+                      f"full scans of tenant-keyed state on the hot path",
+                      file=sys.stderr)
+                return 1
+            if not report["balanced"]:
+                print("repro shard --smoke: FAIL: fleet roll-up does not "
+                      "reconcile (offered != completed + shed + failed + "
+                      "pending)", file=sys.stderr)
+                return 1
+            if not first.failures_injected:
+                print("repro shard --smoke: FAIL: no shard failure was "
+                      "injected", file=sys.stderr)
+                return 1
+            if not first.recovered:
+                print("repro shard --smoke: FAIL: shard failures recovered "
+                      "no admitted queries", file=sys.stderr)
+                return 1
+            print(f"smoke OK: {first.distinct_tenants} tenants / "
+                  f"{first.events} events over {first.shards_final} final "
+                  f"shards; {first.failures_injected} failure(s), "
+                  f"{first.recovered} recovered, full_scans=0, "
+                  f"digest {first.digest()[:16]}")
+            return 0
+        config = ReplayConfig(tenants=args.tenants, events=args.events,
+                              seed=args.seed, fail_at=(150.0,),
+                              fault_plan="shard-failure")
+        result = run_replay(config)
+    except (KeyError, ValueError) as exc:
+        print(f"repro shard: error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(canonical_json(result.to_dict()))
+        return 0
+    report = result.report
+    print(f"sharded replay: {result.distinct_tenants} tenants, "
+          f"{result.events} events, {result.shards_final} final shards "
+          f"({len(result.rebalances)} rebalances, "
+          f"{result.failures_injected} failures)")
+    print(f"  offered {report['offered']}, completed {report['completed']}, "
+          f"shed {report['shed']}, recovered {report['recovered']}, "
+          f"balanced {report['balanced']}")
+    print(f"  p50 {report['latency_p50']:.3f}s, "
+          f"p99 {report['latency_p99']:.3f}s, "
+          f"SLO {report['slo_attainment']:.3%}, "
+          f"cost ${report['cost_usd']:.4f}")
+    print(f"  stale retries {result.stale_retries}, "
+          f"migrated {result.migrated}, full scans {result.full_scans}")
+    print(f"  digest {result.digest()[:16]}")
+    return 0
+
+
 def _run_lint(args) -> int:
     """Run the determinism/architecture static-analysis pass."""
     from repro.lint.cli import run_lint
@@ -370,6 +448,20 @@ def main(argv: list[str] | None = None) -> int:
     futures.add_argument("--smoke", action="store_true",
                          help="CI gate: 64-chunk wordcount, fail on "
                               "nondeterminism or cost mismatch")
+    shard = commands.add_parser(
+        "shard", help="replay a Zipf trace over the sharded serving fabric")
+    shard.add_argument("--tenants", type=int, default=1_000_000,
+                       help="distinct tenant population of the trace")
+    shard.add_argument("--events", type=int, default=1_500_000,
+                       help="trace length in arrivals")
+    shard.add_argument("--seed", type=int, default=7,
+                       help="RNG seed (fixed seed -> identical replay)")
+    shard.add_argument("--json", action="store_true",
+                       help="print the canonical JSON replay outcome")
+    shard.add_argument("--smoke", action="store_true",
+                       help="CI gate: >=100k-tenant replay with a shard "
+                            "failure; fail on nondeterminism, hot-path "
+                            "full scans, or unreconciled queries")
     metrics = commands.add_parser(
         "metrics", help="run one query with telemetry and show a dashboard")
     metrics.add_argument("--query", default="tpch-q12",
@@ -402,6 +494,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_trace(args)
     if args.command == "futures":
         return _run_futures(args)
+    if args.command == "shard":
+        return _run_shard(args)
     if args.command == "metrics":
         return _run_metrics(args)
 

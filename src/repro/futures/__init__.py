@@ -30,6 +30,7 @@ from repro.futures.executor import (
     ALL_COMPLETED,
     ALWAYS,
     ANY_COMPLETED,
+    AdmissionShed,
     ExecutorConfig,
     FunctionExecutor,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "ALL_COMPLETED",
     "ALWAYS",
     "ANY_COMPLETED",
+    "AdmissionShed",
     "AttemptRecord",
     "DataChunk",
     "ExecutorConfig",

@@ -50,6 +50,7 @@ LAYERS: dict[str, tuple[str, ...]] = {
     "serve": ("repro.serve.gateway", "repro.serve.scheduler",
               "repro.serve.metrics", "repro.serve.warm_pool"),
     "workloads": ("repro.workloads",),
+    "shard": ("repro.shard",),
     "service": ("repro.serve", "repro.serve.service", "repro.chaos.runner"),
     "bench": ("repro.bench",),
     "app": ("repro.cli", "repro.__main__"),
@@ -79,15 +80,17 @@ ALLOWED: dict[str, tuple[str, ...]] = {
     "serve": ("util", "analysis", "pricing", "telemetry"),
     "workloads": ("util", "analysis", "sim", "datagen", "faas", "iaas",
                   "pricing", "core", "engine", "serve", "telemetry"),
+    "shard": ("util", "analysis", "sim", "chaos", "serve", "workloads",
+              "telemetry"),
     "service": ("util", "analysis", "sim", "network", "storage", "formats",
                 "datagen", "faas", "iaas", "pricing", "chaos", "engine",
                 "core", "serve", "workloads", "telemetry"),
     "bench": ("util", "analysis", "sim", "network", "storage", "formats",
               "datagen", "faas", "iaas", "pricing", "chaos", "futures",
-              "engine", "core", "serve", "workloads", "service",
+              "engine", "core", "serve", "workloads", "shard", "service",
               "telemetry"),
     "app": ("util", "analysis", "sim", "network", "storage", "formats",
             "datagen", "faas", "iaas", "pricing", "chaos", "futures",
-            "engine", "core", "serve", "workloads", "service", "bench",
-            "lint", "telemetry"),
+            "engine", "core", "serve", "workloads", "shard", "service",
+            "bench", "lint", "telemetry"),
 }

@@ -6,6 +6,15 @@ quota, and an SLO; submissions are admitted into a per-tenant queue or
 shed when the tenant (or the gateway as a whole) is over its backlog
 bound. The scheduler drains the queues; the gateway never runs queries
 itself.
+
+Since the sharding fabric (:mod:`repro.shard`) arrived, a gateway is
+one *shard* of a fleet: it carries a ``shard_id``, a directory
+``epoch`` fence that rejects submissions routed on a stale shard map,
+and an optional ``default_tenant`` template so a million-tenant
+workload can materialize per-tenant state lazily. Every per-event
+operation is O(1) in the number of tenants — backlog is tracked with
+an incrementally maintained counter and an insertion-ordered backlog
+index, never by walking all tenant queues.
 """
 
 from __future__ import annotations
@@ -18,6 +27,18 @@ from typing import Any, Callable, Optional
 
 from repro.serve.metrics import ServingMetrics
 from repro.telemetry import get_recorder
+
+
+class StaleEpoch(Exception):
+    """A submission carried a directory epoch older than the shard's.
+
+    Raised by :meth:`QueryGateway.submit` when the caller routed the
+    request on a shard map that a rebalance (split, merge, failure
+    reassignment) has since superseded. The router reacts by refreshing
+    its route from the partition directory and retrying — the fence is
+    what keeps a rebalanced tenant from being admitted on two shards at
+    once.
+    """
 
 
 @dataclass(frozen=True)
@@ -70,18 +91,40 @@ class QueryGateway:
 
     Admission control is two-level: a submission is shed when its
     tenant's queue is at ``max_queue_depth``, or when the gateway-wide
-    backlog has reached ``max_pending`` (overload protection for the
-    account as a whole). Admitted requests wait in per-tenant FIFO
-    queues until a scheduler pops them.
+    load has reached ``max_pending`` (overload protection for the shard
+    as a whole). Admitted requests wait in per-tenant FIFO queues until
+    a scheduler pops them.
+
+    ``default_tenant`` (when set) serves as the contract for tenants
+    that never called :meth:`register`: their queues are created on
+    first submission and discarded when drained, so resident state is
+    O(tenants with backlog), not O(tenants ever seen).
     """
 
     def __init__(self, env, metrics: Optional[ServingMetrics] = None,
-                 max_pending: float = math.inf) -> None:
+                 max_pending: float = math.inf,
+                 shard_id: str = "shard-0",
+                 default_tenant: Optional[Tenant] = None) -> None:
         self.env = env
         self.metrics = metrics if metrics is not None else ServingMetrics()
         self.max_pending = max_pending
+        self.shard_id = shard_id
+        self.default_tenant = default_tenant
+        #: Directory epoch fence (see :class:`StaleEpoch`). The shard
+        #: router bumps this when the partition directory reassigns any
+        #: of this shard's key ranges.
+        self.epoch = 0
+        self.stale_rejections = 0
         self.tenants: dict[str, Tenant] = {}
         self.queues: dict[str, deque[QueryRequest]] = {}
+        #: Queue entries across all tenants, maintained incrementally —
+        #: never recomputed by walking the queues.
+        self._pending = 0
+        #: Externally admitted work (e.g. futures jobs routed through a
+        #: shard router) holding capacity without sitting in a queue.
+        self._external = 0
+        #: Tenants with a non-empty queue, in first-backlogged order.
+        self._backlog: dict[str, None] = {}
         self._seq = itertools.count()
         #: Scheduler hook, called after every successful admission.
         self.on_submit: Optional[Callable[[], None]] = None
@@ -102,41 +145,117 @@ class QueryGateway:
         return tenant
 
     def tenant(self, name: str) -> Tenant:
-        """Look up a registered tenant."""
-        try:
-            return self.tenants[name]
-        except KeyError:
-            raise KeyError(f"tenant {name!r} is not registered") from None
+        """Look up a registered tenant (or the lazy default template)."""
+        tenant = self.tenants.get(name)
+        if tenant is not None:
+            return tenant
+        if self.default_tenant is not None:
+            return self.default_tenant
+        raise KeyError(f"tenant {name!r} is not registered")
 
     # -- admission ---------------------------------------------------------
 
-    def submit(self, tenant_name: str, plan: Any) -> Optional[QueryRequest]:
-        """Offer one query; returns the queued request, or ``None`` if shed."""
+    def submit(self, tenant_name: str, plan: Any,
+               epoch: Optional[int] = None) -> Optional[QueryRequest]:
+        """Offer one query; returns the queued request, or ``None`` if shed.
+
+        ``epoch`` (when given) is the directory epoch the caller routed
+        on; a value older than the shard's current fence raises
+        :class:`StaleEpoch` *before* the offer is counted, so a routed
+        retry is not double-counted as offered traffic.
+        """
+        if epoch is not None and epoch != self.epoch:
+            self.stale_rejections += 1
+            raise StaleEpoch(
+                f"shard {self.shard_id}: routed on epoch {epoch}, "
+                f"fence is {self.epoch}")
         tenant = self.tenant(tenant_name)
         self.metrics.record_offered(tenant_name)
-        queue = self.queues[tenant_name]
-        if (len(queue) >= tenant.max_queue_depth
-                or self.total_pending >= self.max_pending):
+        queue = self.queues.get(tenant_name)
+        depth = len(queue) if queue is not None else 0
+        if depth >= tenant.max_queue_depth or self.load >= self.max_pending:
             self.metrics.record_shed(tenant_name, self.env.now)
             if self._telemetry is not None:
                 self._shed_counter.inc()
                 self._telemetry.event(
                     self.env.now, "gateway.shed", category="serving",
-                    tenant=tenant_name, queue_depth=len(queue),
-                    total_pending=self.total_pending)
+                    tenant=tenant_name, queue_depth=depth,
+                    total_pending=self._pending)
             return None
         request = QueryRequest(
             tenant=tenant_name, plan=plan, submitted_at=self.env.now,
             seq=next(self._seq), priority=tenant.priority)
-        queue.append(request)
-        if self._telemetry is not None:
-            self._note_depth()
+        self._enqueue(request)
         if self.on_submit is not None:
             self.on_submit()
         return request
 
+    def adopt(self, request: QueryRequest) -> QueryRequest:
+        """Enqueue a request rescued from another shard, unconditionally.
+
+        Used by the rebalancer when a shard is merged away or fails:
+        the request was already offered (and admitted) once, so it is
+        not re-counted and never shed — recovery must not lose admitted
+        work. The request keeps its original submission timestamp, so
+        end-to-end latency still covers the time spent on the dead
+        shard's queue.
+        """
+        self._enqueue(request)
+        if self.on_submit is not None:
+            self.on_submit()
+        return request
+
+    def _enqueue(self, request: QueryRequest) -> None:
+        queue = self.queues.get(request.tenant)
+        if queue is None:
+            queue = self.queues[request.tenant] = deque()
+        if not queue:
+            self._backlog[request.tenant] = None
+        queue.append(request)
+        self._pending += 1
+        if self._telemetry is not None:
+            self._note_depth()
+
+    # -- external admission (futures / non-query work) ---------------------
+
+    def offer_external(self, tenant_name: str,
+                       epoch: Optional[int] = None
+                       ) -> Optional[Callable[[], None]]:
+        """Admit one unit of external work against this shard's capacity.
+
+        Futures jobs routed through the shard router call this instead
+        of :meth:`submit`: the unit is counted as offered, checked
+        against the same shard-wide bound, and — when admitted — holds
+        one slot of :attr:`load` until the returned release callable is
+        invoked. Returns ``None`` when the unit is shed.
+        """
+        if epoch is not None and epoch != self.epoch:
+            self.stale_rejections += 1
+            raise StaleEpoch(
+                f"shard {self.shard_id}: routed on epoch {epoch}, "
+                f"fence is {self.epoch}")
+        self.metrics.record_offered(tenant_name)
+        if self.load >= self.max_pending:
+            self.metrics.record_shed(tenant_name, self.env.now)
+            if self._telemetry is not None:
+                self._shed_counter.inc()
+            return None
+        self._external += 1
+
+        def release() -> None:
+            if self._external <= 0:
+                raise RuntimeError("external release without admission")
+            self._external -= 1
+            # Close the conservation equation: an admitted external unit
+            # leaves the offered count as a completion, never silently.
+            done = getattr(self.metrics, "record_external_done", None)
+            if done is not None:
+                done(tenant_name, self.env.now)
+
+        return release
+
     def _note_depth(self) -> None:
-        depth = float(self.total_pending)
+        depth = float(self._pending)
         self._depth_gauge.set(depth)
         self._depth_series.sample(self.env.now, depth)
 
@@ -144,21 +263,64 @@ class QueryGateway:
 
     def pending(self, tenant_name: str) -> int:
         """Backlog depth of one tenant."""
-        return len(self.queues[tenant_name])
+        queue = self.queues.get(tenant_name)
+        return len(queue) if queue is not None else 0
 
     @property
     def total_pending(self) -> int:
-        """Backlog across all tenants."""
-        return sum(len(queue) for queue in self.queues.values())
+        """Backlog across all tenants (maintained incrementally; O(1))."""
+        return self._pending
+
+    @property
+    def external_pending(self) -> int:
+        """Externally admitted units currently holding capacity."""
+        return self._external
+
+    @property
+    def load(self) -> int:
+        """Queued plus external work counted against ``max_pending``."""
+        return self._pending + self._external
+
+    def backlogged(self) -> list[str]:
+        """Tenants with a non-empty queue, in first-backlogged order.
+
+        The scheduler iterates this instead of every registered tenant,
+        so dispatch work scales with the backlog, not the tenant count.
+        """
+        return list(self._backlog)
 
     def head(self, tenant_name: str) -> Optional[QueryRequest]:
         """Oldest queued request of a tenant, without removing it."""
-        queue = self.queues[tenant_name]
+        queue = self.queues.get(tenant_name)
         return queue[0] if queue else None
 
     def pop(self, tenant_name: str) -> QueryRequest:
         """Remove and return the oldest queued request of a tenant."""
-        request = self.queues[tenant_name].popleft()
+        queue = self.queues[tenant_name]
+        request = queue.popleft()
+        self._pending -= 1
+        if not queue:
+            del self._backlog[tenant_name]
+            if tenant_name not in self.tenants:
+                # Lazily materialized tenant drained: drop its queue so
+                # resident state stays O(tenants with backlog).
+                del self.queues[tenant_name]
         if self._telemetry is not None:
             self._note_depth()
         return request
+
+    def drain_backlog(self) -> list[QueryRequest]:
+        """Remove and return every queued request, in arrival order.
+
+        Used when this shard is merged away or fails: the rebalancer
+        re-homes the returned requests on the shards that took over the
+        key ranges. Cost is O(backlog), independent of tenant count.
+        """
+        orphans: list[QueryRequest] = []
+        while self._backlog:
+            name = next(iter(self._backlog))
+            queue = self.queues[name]
+            while queue:
+                orphans.append(self.pop(name))
+        orphans.sort(key=lambda request: request.fifo_key)
+        return orphans

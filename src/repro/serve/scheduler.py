@@ -206,10 +206,15 @@ class QueryScheduler:
     # -- dispatch ----------------------------------------------------------
 
     def _eligible(self) -> list[str]:
+        # Scan only tenants with backlog (insertion-ordered), so one
+        # dispatch round costs O(backlogged tenants) — not O(all
+        # registered tenants). The eligible *set* is unchanged: a
+        # tenant is dispatchable iff it has queued work and headroom
+        # under its concurrency quota.
         eligible = []
-        for name, tenant in self.gateway.tenants.items():
-            if (self.gateway.pending(name) > 0
-                    and self.inflight.get(name, 0) < tenant.max_concurrent):
+        for name in self.gateway.backlogged():
+            tenant = self.gateway.tenant(name)
+            if self.inflight.get(name, 0) < tenant.max_concurrent:
                 eligible.append(name)
         return eligible
 

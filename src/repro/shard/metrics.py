@@ -1,0 +1,243 @@
+"""Per-shard streaming metrics and the fleet-level roll-up.
+
+A million-tenant replay cannot afford the serve layer's per-query
+record keeping (:class:`~repro.serve.metrics.ServingMetrics` files a
+``CompletedQuery`` per served query), so each gateway shard gets a
+:class:`ShardMetrics`: the same recording interface, but reduced on the
+fly to counters plus a fixed-width log-bucketed latency histogram —
+O(1) memory per event, deterministic percentiles.
+
+:class:`FleetMetrics` rolls the per-shard views into the fleet numbers
+operators watch — aggregate p50/p99 latency, SLO attainment, shed and
+recovered counts, cost — and, crucially, *reconciles* them: every
+query a tenant ever offered must be accounted for as completed, shed,
+failed, or still pending. Rebalancing and shard failure move requests
+between shards; the conservation check is what proves none fell
+through the cracks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Histogram range: 1 ms to ~10^4 s, 64 buckets per decade.
+_LOG_MIN = -3.0
+_LOG_MAX = 4.0
+_BUCKETS_PER_DECADE = 64
+_BUCKETS = int((_LOG_MAX - _LOG_MIN) * _BUCKETS_PER_DECADE)
+
+
+class LatencyHistogram:
+    """Fixed log-bucketed latency distribution with stable percentiles.
+
+    Buckets span 1 ms to 10^4 s at 64 per decade (~3.7% relative
+    resolution); out-of-range samples clamp to the edge buckets. The
+    reported percentile is the upper edge of the bucket where the
+    cumulative count crosses the rank — a deterministic value that
+    merges associatively across shards.
+    """
+
+    __slots__ = ("counts", "total")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (_BUCKETS + 2)
+        self.total = 0
+
+    def record(self, latency_s: float) -> None:
+        if latency_s <= 0.0:
+            index = 0
+        else:
+            position = (math.log10(latency_s) - _LOG_MIN) * _BUCKETS_PER_DECADE
+            index = min(max(int(position) + 1, 0), _BUCKETS + 1)
+        self.counts[index] += 1
+        self.total += 1
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.total += other.total
+
+    def percentile(self, p: float) -> float:
+        """Upper-edge latency of the bucket holding the ``p``-th centile."""
+        if self.total == 0:
+            return 0.0
+        rank = math.ceil(self.total * p / 100.0)
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= rank:
+                if index == 0:
+                    return 0.0
+                exponent = _LOG_MIN + index / _BUCKETS_PER_DECADE
+                return round(10.0 ** exponent, 9)
+        return round(10.0 ** _LOG_MAX, 9)
+
+
+class ShardMetrics:
+    """Streaming serving metrics of one gateway shard.
+
+    Implements the recording interface of
+    :class:`~repro.serve.metrics.ServingMetrics` (``record_offered`` /
+    ``record_shed`` / ``record_completion`` / ``record_failed``) so a
+    :class:`~repro.serve.gateway.QueryGateway` can use either, but
+    keeps only scalars and a histogram — no per-query, no per-tenant
+    state.
+    """
+
+    def __init__(self, shard_id: str = "shard-0",
+                 slo_latency_s: float = math.inf) -> None:
+        self.shard_id = shard_id
+        self.slo_latency_s = slo_latency_s
+        self.offered = 0
+        self.shed = 0
+        self.completed = 0
+        self.failed = 0
+        self.within_slo = 0
+        self.recovered = 0
+        self.cost_usd = 0.0
+        self.queue_wait_sum = 0.0
+        self.latency = LatencyHistogram()
+
+    # -- the ServingMetrics recording interface ----------------------------
+
+    def record_offered(self, tenant: str) -> None:
+        self.offered += 1
+
+    def record_shed(self, tenant: str, at: float) -> None:
+        self.shed += 1
+
+    def record_completion(self, record) -> None:
+        self.completed += 1
+        latency = record.finished_at - record.submitted_at
+        self.latency.record(latency)
+        self.queue_wait_sum += record.started_at - record.submitted_at
+        self.cost_usd += record.cost_usd
+        if latency <= self.slo_latency_s:
+            self.within_slo += 1
+        if record.retries or record.hedges:
+            self.recovered += 1
+
+    def record_failed(self, tenant: str, at: float) -> None:
+        self.failed += 1
+
+    def record_external_done(self, tenant: str, at: float) -> None:
+        """An admitted external unit (futures job) released its slot.
+
+        Counted as completed — without it, external work would be
+        offered but never resolved and the fleet roll-up could not
+        reconcile. No latency sample: external units carry no query
+        SLO, so they leave the histogram (and ``within_slo``) alone.
+        """
+        self.completed += 1
+
+    # -- views -------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """JSON-ready per-shard reduction (stable keys)."""
+        return {
+            "shard": self.shard_id,
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "failed": self.failed,
+            "recovered": self.recovered,
+            "p50": self.latency.percentile(50.0),
+            "p99": self.latency.percentile(99.0),
+            "cost_usd": round(self.cost_usd, 9),
+        }
+
+
+@dataclass
+class FleetReport:
+    """The fleet-level roll-up of every shard's serving metrics."""
+
+    shards: int
+    offered: int
+    completed: int
+    shed: int
+    failed: int
+    recovered: int
+    pending: int
+    latency_p50: float
+    latency_p99: float
+    mean_queue_wait: float
+    slo_attainment: float
+    cost_usd: float
+    per_shard: list[dict] = field(default_factory=list)
+
+    @property
+    def balanced(self) -> bool:
+        """Conservation: every offered query is accounted for."""
+        return self.offered == (self.completed + self.shed + self.failed
+                                + self.pending)
+
+    def to_dict(self) -> dict:
+        return {
+            "shards": self.shards,
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "failed": self.failed,
+            "recovered": self.recovered,
+            "pending": self.pending,
+            "balanced": self.balanced,
+            "latency_p50": round(self.latency_p50, 9),
+            "latency_p99": round(self.latency_p99, 9),
+            "mean_queue_wait": round(self.mean_queue_wait, 9),
+            "slo_attainment": round(self.slo_attainment, 9),
+            "cost_usd": round(self.cost_usd, 9),
+            "per_shard": self.per_shard,
+        }
+
+
+class FleetMetrics:
+    """Aggregates shard metrics into one fleet view.
+
+    ``recovered_requests`` counts requests the rebalancer re-homed out
+    of merged or failed shards — queries that would have been *lost*
+    without recovery; they surface in the roll-up next to the
+    retry/hedge-recovered completions.
+    """
+
+    def __init__(self) -> None:
+        #: Requests re-homed out of merged/failed shards.
+        self.recovered_requests = 0
+
+    def roll_up(self, shard_metrics: list[ShardMetrics],
+                pending: int = 0) -> FleetReport:
+        """Reduce per-shard metrics to a :class:`FleetReport`.
+
+        ``pending`` is the backlog still queued across live gateways
+        (zero after a drained run) — it closes the conservation
+        equation mid-run.
+        """
+        merged = LatencyHistogram()
+        offered = completed = shed = failed = recovered = 0
+        within = 0
+        wait_sum = 0.0
+        cost = 0.0
+        for metrics in shard_metrics:
+            merged.merge(metrics.latency)
+            offered += metrics.offered
+            completed += metrics.completed
+            shed += metrics.shed
+            failed += metrics.failed
+            recovered += metrics.recovered
+            within += metrics.within_slo
+            wait_sum += metrics.queue_wait_sum
+            cost += metrics.cost_usd
+        return FleetReport(
+            shards=len(shard_metrics),
+            offered=offered,
+            completed=completed,
+            shed=shed,
+            failed=failed,
+            recovered=recovered + self.recovered_requests,
+            pending=pending,
+            latency_p50=merged.percentile(50.0),
+            latency_p99=merged.percentile(99.0),
+            mean_queue_wait=wait_sum / completed if completed else 0.0,
+            slo_attainment=within / offered if offered else 1.0,
+            cost_usd=cost,
+            per_shard=[metrics.summary() for metrics in shard_metrics])

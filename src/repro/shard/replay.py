@@ -1,0 +1,417 @@
+"""Deterministic million-tenant trace replay over the sharded fabric.
+
+The full discrete-event kernel prices every arrival at a heap push plus
+a process step — fine for thousands of queries, hopeless for millions.
+The replay keeps the *admission* path fully real (router, route cache,
+epoch fences, gateway queues, shed decisions, rebalancer, failures) and
+replaces only query *execution* with an analytic slot model: each shard
+is ``slots`` parallel servers; a heap of slot-free times is drained as
+the trace clock advances, and each dispatch's completion time is known
+in closed form. Everything runs on a :class:`ManualClock`, so the whole
+run is a single pass over the trace — O(events) work, O(active) memory.
+
+Two instruments make the complexity claims checkable rather than
+asserted:
+
+* :class:`ScanGuard` wraps every gateway's tenant-keyed dicts and
+  counts *full iterations* (``keys``/``values``/``items``/``iter``).
+  The replay reports ``full_scans``; the bench gate pins it to zero —
+  the per-event cost provably never walks a tenant-sized structure.
+* The result digest is :func:`~repro.telemetry.canonical_json` hashed
+  over the fleet roll-up, the rebalance history, and every counter —
+  two same-seed runs must be byte-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+from dataclasses import dataclass, field
+
+from repro.serve.gateway import QueryGateway, Tenant
+from repro.serve.metrics import CompletedQuery
+from repro.shard.metrics import ShardMetrics
+from repro.shard.rebalance import Rebalancer
+from repro.shard.router import ShardRouter
+from repro.sim.rng import RandomStreams
+from repro.telemetry import canonical_json
+from repro.workloads.traffic import zipf_trace
+
+#: Cost model of one served query: the paper's Lambda price point
+#: (USD per GB-second) at 2 GB, applied to analytic service time.
+_USD_PER_SLOT_SECOND = 2.0 * 0.0000166667
+
+
+class ManualClock:
+    """A bare virtual clock: the only ``env`` surface the replay needs.
+
+    Gateways read ``env.now`` for timestamps; nothing here schedules —
+    the replay advances ``now`` itself, one trace arrival at a time.
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+class ScanGuard(dict):
+    """A dict that counts full iterations over itself.
+
+    Keyed lookups (``get``/``[]``/``in``/``len``) stay free; anything
+    that walks the whole mapping bumps :attr:`full_scans`. Wrapped
+    around tenant-keyed gateway state, a zero count after a
+    million-event replay is a *proof* the hot path is O(1) in tenant
+    count — not a benchmark that happens to be fast.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.full_scans = 0
+
+    def __iter__(self):
+        self.full_scans += 1
+        return super().__iter__()
+
+    def keys(self):
+        self.full_scans += 1
+        return super().keys()
+
+    def values(self):
+        self.full_scans += 1
+        return super().values()
+
+    def items(self):
+        self.full_scans += 1
+        return super().items()
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """One sharded-serving replay, fully determined by its fields."""
+
+    tenants: int = 1_000_000
+    events: int = 1_500_000
+    window_s: float = 3_600.0
+    seed: int = 7
+    shards: int = 4
+    slots_per_shard: int = 16
+    max_pending_per_shard: int = 4_096
+    tenant_queue_depth: int = 32
+    zipf_s: float = 1.3
+    mean_service_s: float = 0.2
+    slo_latency_s: float = 2.0
+    control_interval_s: float = 60.0
+    hot_factor: float = 1.15
+    cold_factor: float = 0.55
+    max_shards: int = 12
+    #: Virtual times at which a shard failure is injected (the
+    #: currently most-backlogged shard dies; its queue must be
+    #: recovered, not lost).
+    fail_at: tuple = ()
+    #: Optional :mod:`repro.chaos` plan name; its ``shard_failure``
+    #: specs are polled per live shard at every control tick.
+    fault_plan: str = ""
+
+    def smoke(self) -> "ReplayConfig":
+        """The CI-sized variant: >=100k tenants, truncated trace."""
+        return ReplayConfig(
+            tenants=120_000, events=180_000, window_s=600.0,
+            seed=self.seed, shards=self.shards,
+            slots_per_shard=self.slots_per_shard,
+            max_pending_per_shard=self.max_pending_per_shard,
+            tenant_queue_depth=self.tenant_queue_depth,
+            zipf_s=self.zipf_s, mean_service_s=self.mean_service_s,
+            slo_latency_s=self.slo_latency_s,
+            control_interval_s=60.0, hot_factor=self.hot_factor,
+            cold_factor=self.cold_factor, max_shards=self.max_shards,
+            fail_at=(150.0,), fault_plan="shard-failure")
+
+
+@dataclass
+class ReplayResult:
+    """The replay's outcome: the roll-up, the history, the proof bits.
+
+    ``extra`` carries non-deterministic annotations (wall times, RSS);
+    it is deliberately excluded from :meth:`to_dict` and the digest.
+    """
+
+    report: dict
+    rebalances: list[dict]
+    distinct_tenants: int
+    events: int
+    shards_final: int
+    submits: int
+    stale_retries: int
+    migrated: int
+    recovered: int
+    full_scans: int
+    failures_injected: int
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "report": self.report,
+            "rebalances": self.rebalances,
+            "distinct_tenants": self.distinct_tenants,
+            "events": self.events,
+            "shards_final": self.shards_final,
+            "submits": self.submits,
+            "stale_retries": self.stale_retries,
+            "migrated": self.migrated,
+            "recovered": self.recovered,
+            "full_scans": self.full_scans,
+            "failures_injected": self.failures_injected,
+        }
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON of the full outcome."""
+        return hashlib.sha256(
+            canonical_json(self.to_dict()).encode("utf-8")).hexdigest()
+
+
+class _SlotBank:
+    """Analytic execution model of one shard: ``slots`` parallel servers."""
+
+    __slots__ = ("slots", "busy")
+
+    def __init__(self, slots: int) -> None:
+        self.slots = slots
+        self.busy: list[float] = []  # heap of slot-free times
+
+
+def _next_request(gateway: QueryGateway):
+    """Pop the next request: round-robin across backlogged tenants.
+
+    FIFO within a tenant; tenants take turns in first-backlogged
+    order. O(1) per call — one dict-head read, one deque pop, and a
+    constant-cost rotation of the backlog index.
+    """
+    backlog = gateway._backlog
+    if not backlog:
+        return None
+    name = next(iter(backlog))
+    request = gateway.pop(name)
+    if name in backlog:  # still backlogged: rotate to the back
+        del backlog[name]
+        backlog[name] = None
+    return request
+
+
+def _complete(metrics, request, start: float) -> float:
+    finish = start + request.plan
+    metrics.record_completion(CompletedQuery(
+        tenant=request.tenant, query_id=f"q{request.seq}",
+        submitted_at=request.submitted_at, started_at=start,
+        finished_at=finish, runtime=request.plan,
+        cost_usd=request.plan * _USD_PER_SLOT_SECOND,
+        retries=0, hedges=0))
+    return finish
+
+
+def _advance(bank: _SlotBank, gateway: QueryGateway, now: float) -> None:
+    """Drain one shard's slots up to virtual time ``now``."""
+    busy = bank.busy
+    while busy and busy[0] <= now:
+        freed = heapq.heappop(busy)
+        request = _next_request(gateway)
+        if request is None:
+            continue
+        start = freed if freed >= request.submitted_at \
+            else request.submitted_at
+        heapq.heappush(busy, _complete(gateway.metrics, request, start))
+    while len(busy) < bank.slots:
+        request = _next_request(gateway)
+        if request is None:
+            break
+        heapq.heappush(busy, _complete(gateway.metrics, request, now))
+
+
+def _drain_all(banks: dict, gateways: dict, upto: float) -> None:
+    for shard in sorted(banks):
+        if shard in gateways:
+            _advance(banks[shard], gateways[shard], upto)
+
+
+def _quiesce(bank: _SlotBank, gateway: QueryGateway, horizon: float,
+             step: float) -> None:
+    """Drain one shard past its last completion (end of trace)."""
+    while bank.busy or gateway.total_pending:
+        if bank.busy:
+            horizon = max(horizon, bank.busy[0])
+        _advance(bank, gateway, horizon)
+        horizon += step
+
+
+def _distinct(ids) -> int:
+    """Distinct tenant ids in the trace, without a million-entry set."""
+    if len(ids) == 0:
+        return 0
+    ordered = ids.copy()
+    ordered.sort()
+    return 1 + int((ordered[1:] != ordered[:-1]).sum())
+
+
+def run_replay(config: ReplayConfig) -> ReplayResult:
+    """Replay a Zipf trace through the sharded fabric, deterministically.
+
+    One pass over the trace: at each arrival the routed shard's slot
+    bank is advanced to the arrival time, the query is offered through
+    the router (cache, epoch fence, shed bound), and idle slots pull
+    from the queues. Every ``control_interval_s`` the rebalancer takes
+    a load window and may split/merge; configured shard failures fire
+    at the control cadence too. After the last arrival all shards are
+    drained to quiescence, and the fleet roll-up is reconciled.
+    """
+    streams = RandomStreams(config.seed)
+    times, ids = zipf_trace(
+        streams.stream("shard.trace"), config.tenants, config.events,
+        config.window_s, s=config.zipf_s)
+    services = streams.stream("shard.service").exponential(
+        config.mean_service_s, size=config.events)
+
+    clock = ManualClock()
+    guards: list[ScanGuard] = []
+
+    def factory(env, **kwargs) -> QueryGateway:
+        gateway = QueryGateway(env, **kwargs)
+        gateway.queues = ScanGuard(gateway.queues)
+        gateway.tenants = ScanGuard(gateway.tenants)
+        guards.append(gateway.queues)
+        guards.append(gateway.tenants)
+        return gateway
+
+    template = Tenant(name="__default__",
+                      max_queue_depth=config.tenant_queue_depth,
+                      slo_latency_s=config.slo_latency_s)
+    router = ShardRouter(
+        clock, shards=config.shards,
+        max_pending=config.max_pending_per_shard,
+        default_tenant=template, slo_latency_s=config.slo_latency_s,
+        gateway_factory=factory)
+    rebalancer = Rebalancer(
+        router, seed=config.seed, hot_factor=config.hot_factor,
+        cold_factor=config.cold_factor, min_shards=1,
+        max_shards=config.max_shards)
+    banks: dict[str, _SlotBank] = {}
+    for shard in router.shards():
+        banks[shard] = _SlotBank(config.slots_per_shard)
+
+    pending_failures = sorted(config.fail_at)
+    failures = 0
+    injector = None
+    if config.fault_plan:
+        from repro.chaos.injector import FaultInjector
+        from repro.chaos.plan import get_plan
+        injector = FaultInjector(get_plan(config.fault_plan),
+                                 RandomStreams(config.seed))
+
+    def kill(victim: str) -> None:
+        nonlocal failures
+        router.fail_shard(victim)
+        banks.pop(victim)
+        failures += 1
+
+    next_control = config.control_interval_s
+
+    for index in range(config.events):
+        now = float(times[index])
+        while now >= next_control:
+            clock.now = next_control
+            # Failures fire on the un-drained state: whatever is still
+            # queued on the victim at the instant it dies is exactly
+            # the work that must be recovered, not completed.
+            while pending_failures and pending_failures[0] <= next_control:
+                pending_failures.pop(0)
+                if len(router.gateways) > 1:
+                    depth = {shard: router.gateways[shard].total_pending
+                             for shard in sorted(router.gateways)}
+                    victim = max(sorted(depth), key=lambda s: depth[s])
+                    kill(victim)
+            if injector is not None:
+                for shard in router.shards():
+                    if len(router.gateways) > 1 \
+                            and injector.on_shard(shard, next_control):
+                        kill(shard)
+            _drain_all(banks, router.gateways, next_control)
+            for event in rebalancer.step(next_control):
+                if event.action == "split":
+                    banks[event.peer] = _SlotBank(config.slots_per_shard)
+                elif event.action == "merge":
+                    banks.pop(event.shard)
+            next_control += config.control_interval_s
+        clock.now = now
+        tenant = f"t{ids[index]}"
+        shard = router.route(tenant).shard
+        _advance(banks[shard], router.gateways[shard], now)
+        request = router.submit(tenant, float(services[index]))
+        if request is not None:
+            # A stale-epoch retry may have re-routed the tenant: the
+            # cache is fresh after submit, so re-read the shard.
+            shard = router.route(tenant).shard
+            _advance(banks[shard], router.gateways[shard], now)
+
+    clock.now = config.window_s
+    for shard in sorted(banks):
+        _quiesce(banks[shard], router.gateways[shard], config.window_s,
+                 config.mean_service_s)
+
+    report = router.roll_up()
+    return ReplayResult(
+        report=report.to_dict(),
+        rebalances=rebalancer.history(),
+        distinct_tenants=_distinct(ids),
+        events=config.events,
+        shards_final=len(router.gateways),
+        submits=router.submits,
+        stale_retries=router.stale_retries,
+        migrated=router.migrated,
+        recovered=router.fleet.recovered_requests,
+        full_scans=sum(guard.full_scans for guard in guards),
+        failures_injected=failures)
+
+
+def run_unsharded_replay(config: ReplayConfig) -> dict:
+    """The same trace through one monolithic gateway (the baseline).
+
+    Equal aggregate capacity (``shards * slots_per_shard`` slots, the
+    summed pending bound), no router, no rebalancing — the comparison
+    point BENCH_PR7 records events/sec and peak memory against.
+    """
+    streams = RandomStreams(config.seed)
+    times, ids = zipf_trace(
+        streams.stream("shard.trace"), config.tenants, config.events,
+        config.window_s, s=config.zipf_s)
+    services = streams.stream("shard.service").exponential(
+        config.mean_service_s, size=config.events)
+
+    clock = ManualClock()
+    template = Tenant(name="__default__",
+                      max_queue_depth=config.tenant_queue_depth,
+                      slo_latency_s=config.slo_latency_s)
+    metrics = ShardMetrics(shard_id="mono",
+                           slo_latency_s=config.slo_latency_s)
+    gateway = QueryGateway(
+        clock, metrics=metrics,
+        max_pending=config.max_pending_per_shard * config.shards,
+        shard_id="mono", default_tenant=template)
+    bank = _SlotBank(config.slots_per_shard * config.shards)
+
+    for index in range(config.events):
+        now = float(times[index])
+        clock.now = now
+        _advance(bank, gateway, now)
+        gateway.submit(f"t{ids[index]}", float(services[index]))
+        _advance(bank, gateway, now)
+
+    clock.now = config.window_s
+    _quiesce(bank, gateway, config.window_s, config.mean_service_s)
+
+    return {
+        "offered": metrics.offered,
+        "completed": metrics.completed,
+        "shed": metrics.shed,
+        "p50": metrics.latency.percentile(50.0),
+        "p99": metrics.latency.percentile(99.0),
+        "cost_usd": round(metrics.cost_usd, 9),
+    }

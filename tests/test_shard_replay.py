@@ -1,0 +1,76 @@
+"""Replay tests: determinism, conservation, failure recovery, O(1) proof."""
+
+import pytest
+
+from repro.shard import ReplayConfig, run_replay, run_unsharded_replay
+
+SMALL = ReplayConfig(tenants=5_000, events=8_000, window_s=240.0,
+                     shards=3, slots_per_shard=2,
+                     max_pending_per_shard=256, tenant_queue_depth=8,
+                     control_interval_s=30.0, max_shards=6,
+                     fail_at=(60.0,), fault_plan="shard-failure")
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return run_replay(SMALL)
+
+
+class TestDeterminism:
+    def test_same_seed_runs_are_byte_identical(self, outcome):
+        again = run_replay(SMALL)
+        assert outcome.digest() == again.digest()
+        assert outcome.to_dict() == again.to_dict()
+
+    def test_seed_changes_the_outcome(self, outcome):
+        other = run_replay(ReplayConfig(**{
+            **SMALL.__dict__, "seed": SMALL.seed + 1}))
+        assert other.digest() != outcome.digest()
+
+
+class TestConservation:
+    def test_roll_up_reconciles_after_quiesce(self, outcome):
+        report = outcome.report
+        assert report["balanced"]
+        assert report["pending"] == 0
+        assert report["offered"] == report["completed"] + report["shed"] \
+            + report["failed"]
+
+    def test_trace_covers_every_tenant(self, outcome):
+        assert outcome.distinct_tenants == SMALL.tenants
+        assert outcome.events == SMALL.events
+
+    def test_shard_failures_fire_and_recover(self, outcome):
+        """Both failure paths (explicit fail_at + the chaos plan) kill a
+        shard, and the victims' backlogs are re-homed, not dropped."""
+        assert outcome.failures_injected >= 1
+        assert outcome.recovered > 0
+        assert outcome.report["recovered"] >= outcome.recovered
+
+    def test_hot_path_never_walks_tenant_state(self, outcome):
+        assert outcome.full_scans == 0
+
+    def test_rebalances_are_recorded_with_stable_keys(self, outcome):
+        for row in outcome.rebalances:
+            assert row["action"] in ("split", "merge")
+            assert row["moved"] >= 0
+
+
+class TestUnshardedBaseline:
+    def test_monolithic_replay_conserves_queries(self):
+        report = run_unsharded_replay(SMALL)
+        assert report["offered"] == SMALL.events
+        assert report["offered"] == report["completed"] + report["shed"]
+        assert report["p50"] <= report["p99"]
+
+    def test_sharded_and_unsharded_see_the_same_trace(self, outcome):
+        """Same seed -> same arrivals: offered totals agree."""
+        report = run_unsharded_replay(SMALL)
+        assert outcome.report["offered"] == report["offered"]
+
+
+class TestConfig:
+    def test_smoke_variant_meets_the_gate_floor(self):
+        smoke = ReplayConfig().smoke()
+        assert smoke.tenants >= 100_000
+        assert smoke.fail_at and smoke.fault_plan
