@@ -60,6 +60,11 @@ class FaultInjector:
             for index, spec in enumerate(plan.specs)]
         self._spec_counts = [0] * len(plan.specs)
         self.state = InjectorState()
+        #: Optional observability hook (``on_fault(now, kind, target,
+        #: detail)``), called on every strike. Strictly passive: it sees
+        #: the fault after the draw, so attaching one cannot change
+        #: which faults fire.
+        self.observer = None
 
     # -- installation --------------------------------------------------------
 
@@ -96,6 +101,8 @@ class FaultInjector:
                 time=now, kind=spec.kind, target=target, detail=detail))
         else:
             self.state.dropped_events += 1
+        if self.observer is not None:
+            self.observer.on_fault(now, spec.kind, target, detail)
 
     def _eligible(self, index: int, spec: FaultSpec, now: float) -> bool:
         if not spec.in_window(now):

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 from repro.core import Driver, ExperimentConfig, ascii_timeseries
@@ -136,9 +137,18 @@ def _run_trace(args) -> int:
     )
 
     query = "tpch-q6" if args.smoke else args.query
+    trace_filter = getattr(args, "trace", None)
     try:
         result, recorder = _record_query(query, args.seed)
-        trace = chrome_trace(recorder)
+        if trace_filter is not None:
+            known = sorted({span.trace_id for span in recorder.spans})
+            if trace_filter not in known:
+                raise ValueError(
+                    f"trace id {trace_filter!r} not in this run; "
+                    f"recorded: {known}")
+        trace = chrome_trace(
+            recorder,
+            trace_ids=None if trace_filter is None else [trace_filter])
         snapshot = metrics_snapshot(recorder)
         trace_text = canonical_json(trace)
         snapshot_text = canonical_json(snapshot)
@@ -166,8 +176,10 @@ def _run_trace(args) -> int:
         return 0
     output_dir = Path(args.output)
     output_dir.mkdir(parents=True, exist_ok=True)
-    trace_path = output_dir / f"{query}-trace.json"
-    metrics_path = output_dir / f"{query}-metrics.json"
+    stem = query if trace_filter is None \
+        else f"{query}-{trace_filter.replace(' ', '_').replace('/', '_')}"
+    trace_path = output_dir / f"{stem}-trace.json"
+    metrics_path = output_dir / f"{stem}-metrics.json"
     trace_path.write_text(trace_text + "\n")
     metrics_path.write_text(snapshot_text + "\n")
     print(f"{query}: runtime {result.runtime:.3f}s, "
@@ -199,6 +211,73 @@ def _run_metrics(args) -> int:
         print(render_dashboard(recorder))
         print(f"\nquery {args.query}: runtime {result.runtime:.3f}s, "
               f"cost {result.cost_cents:.4f}¢")
+    return 0
+
+
+def _run_obs(args) -> int:
+    """Run the observability plane: observed replay, smoke gate, profiler."""
+    from repro.telemetry.export import canonical_json
+
+    try:
+        if args.profile is not None:
+            from repro.obs import profile_recorder
+            result, recorder = _record_query(args.profile, args.seed)
+            profile = profile_recorder(recorder)
+            print(canonical_json(profile))
+            if not args.json:
+                print(f"# {args.profile}: {profile['stage_count']} stages, "
+                      f"total ${profile['cost']['total_usd']:.6f} "
+                      f"(runtime {result.runtime:.3f}s)", file=sys.stderr)
+            return 0
+
+        from repro.obs.scenario import obs_smoke, run_obs_replay
+        from repro.shard.replay import ReplayConfig
+
+        config = ReplayConfig(seed=args.seed).smoke()
+        config = replace(config, tenants=args.tenants, events=args.events)
+        if args.smoke:
+            out = obs_smoke(config)
+            for name in sorted(out["checks"]):
+                print(f"  {name:<22} ok")
+            print(f"smoke OK: {out['alerts_fired']} alerts, "
+                  f"{out['incidents']} incident bundles, "
+                  f"{out['sampling']['kept']}/"
+                  f"{out['sampling']['completed']} traces kept, "
+                  f"digest {out['digest'][:16]}")
+            return 0
+
+        outcome = run_obs_replay(config)
+        if args.bundle_dir is not None:
+            bundle_dir = Path(args.bundle_dir)
+            bundle_dir.mkdir(parents=True, exist_ok=True)
+            for bundle in outcome.incidents:
+                path = bundle_dir / f"incident-{bundle['seq']:03d}.json"
+                path.write_text(canonical_json(bundle) + "\n")
+                print(f"  bundle -> {path}", file=sys.stderr)
+        if args.json:
+            print(outcome.to_json())
+            return 0
+        sampling = outcome.sampling
+        print(f"observed replay: seed={config.seed} "
+              f"events={config.events} tenants={config.tenants} "
+              f"plan={config.fault_plan or '-'}")
+        print(f"  alerts fired      {outcome.alerts_fired}")
+        print(f"  incident bundles  {len(outcome.incidents)}")
+        print(f"  traces kept       {sampling['kept']}/"
+              f"{sampling['completed']} "
+              f"(slow={sampling['kept_by_reason']['slow']}, "
+              f"fault={sampling['kept_by_reason']['fault']}, "
+              f"baseline={sampling['kept_by_reason']['baseline']}; "
+              f"conserved={sampling['conserved']})")
+        for scope, entry in sorted(outcome.slo["scopes"].items()):
+            firing = ",".join(entry["firing"]) or "-"
+            print(f"  slo {scope:<16} attainment="
+                  f"{entry['attainment']:.4f}  "
+                  f"budget={entry['budget_consumed']:.2f}x  "
+                  f"firing={firing}")
+    except (AssertionError, KeyError, ValueError) as exc:
+        print(f"repro obs: error: {exc}", file=sys.stderr)
+        return 1 if args.smoke else 2
     return 0
 
 
@@ -425,6 +504,9 @@ def main(argv: list[str] | None = None) -> int:
     trace.add_argument("--smoke", action="store_true",
                        help="CI gate: trace tpch-q6, validate that the "
                             "Chrome trace and metrics snapshot parse")
+    trace.add_argument("--trace", default=None, metavar="TRACE_ID",
+                       help="re-export only this trace id (e.g. a trace "
+                            "named in an incident bundle)")
     futures = commands.add_parser(
         "futures", help="run a futures/map-reduce workload scenario")
     futures.add_argument("--workload", default="wordcount",
@@ -470,6 +552,28 @@ def main(argv: list[str] | None = None) -> int:
                          help="RNG seed (fixed seed -> identical metrics)")
     metrics.add_argument("--json", action="store_true",
                          help="print the canonical JSON metrics snapshot")
+    obs = commands.add_parser(
+        "obs", help="observability plane: SLO burn-rate alerts, tail "
+                    "sampling, incident bundles, stage profiler")
+    obs.add_argument("--tenants", type=int, default=120_000,
+                     help="distinct tenant population of the replay")
+    obs.add_argument("--events", type=int, default=180_000,
+                     help="replay length in arrivals")
+    obs.add_argument("--seed", type=int, default=7,
+                     help="RNG seed (fixed seed -> identical bundles)")
+    obs.add_argument("--profile", default=None, metavar="QUERY",
+                     help="instead of a replay, profile one TPC-H query's "
+                          "span tree into the per-stage cost feed")
+    obs.add_argument("--bundle-dir", default=None, metavar="DIR",
+                     help="write each incident bundle as a canonical JSON "
+                          "file under DIR")
+    obs.add_argument("--json", action="store_true",
+                     help="print the canonical JSON observed outcome")
+    obs.add_argument("--smoke", action="store_true",
+                     help="CI gate: shard-failure replay; fail unless the "
+                          "burn-rate alert fires, bundles are "
+                          "byte-deterministic, and sampled trace counts "
+                          "conserve")
     lint = commands.add_parser(
         "lint", help="static analysis: determinism bans + layer contract")
     from repro.lint.cli import add_lint_arguments
@@ -498,6 +602,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_shard(args)
     if args.command == "metrics":
         return _run_metrics(args)
+    if args.command == "obs":
+        return _run_obs(args)
 
     output_dir = Path(args.output)
     if args.command == "list":

@@ -125,6 +125,8 @@ class IoStack:
                 attrs={"key": key, "bytes": size,
                        "service": self.storage.name,
                        "chunks": len(chunks)})
+            self._telemetry.histogram("storage.read.latency_s").observe(
+                self.env.now - started)
         return obj
 
     def bulk_transfer(self):
@@ -214,6 +216,8 @@ class IoStack:
                 category="storage",
                 attrs={"key": key, "bytes": logical_bytes,
                        "service": self.storage.name})
+            self._telemetry.histogram("storage.write.latency_s").observe(
+                self.env.now - started)
         return obj
 
 

@@ -163,7 +163,8 @@ class LambdaPlatform:
         span = None
         if self._telemetry is not None:
             parent = payload.get("trace") if isinstance(payload, dict) else None
-            attrs = {"function": name}
+            attrs = {"function": name,
+                     "memory_mb": round(config.memory_bytes / units.MiB, 3)}
             if isinstance(payload, dict):
                 if "attempt" in payload:
                     attrs["attempt"] = payload["attempt"]
@@ -247,6 +248,9 @@ class LambdaPlatform:
                 span.finish(self.env.now, cold=cold,
                             sandbox_id=self._sandbox_tag(sandbox),
                             ok=error is None)
+                self._telemetry.histogram(
+                    "lambda.invoke.duration_s").observe(
+                        self.env.now - requested_at)
             return record
         finally:
             sandbox.busy = False

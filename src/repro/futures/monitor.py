@@ -55,6 +55,11 @@ class JobMonitor:
             if self._telemetry is not None:
                 self._telemetry.counter(
                     f"futures.calls.{state}").value += 1
+                finished = future.finished_at \
+                    if future.finished_at is not None else self.env.now
+                self._telemetry.histogram(
+                    "futures.call.latency_s").observe(
+                        finished - future.created_at)
                 if state == ERROR:
                     self._telemetry.event(
                         self.env.now, "futures.call_failed",

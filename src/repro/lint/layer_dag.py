@@ -51,6 +51,13 @@ LAYERS: dict[str, tuple[str, ...]] = {
               "repro.serve.metrics", "repro.serve.warm_pool"),
     "workloads": ("repro.workloads",),
     "shard": ("repro.shard",),
+    #: The obs core (SLO engine, sampler, flight recorder, profiler) is
+    #: passive: it observes timestamps and spans, never the simulation.
+    "obs": ("repro.obs",),
+    #: Observed-replay scenarios sit above the sharded fabric (the
+    #: facade stays obs-layer; ``repro.obs.scenario`` must be imported
+    #: directly, like ``repro.serve.service``).
+    "obsflow": ("repro.obs.scenario",),
     "service": ("repro.serve", "repro.serve.service", "repro.chaos.runner"),
     "bench": ("repro.bench",),
     "app": ("repro.cli", "repro.__main__"),
@@ -82,15 +89,18 @@ ALLOWED: dict[str, tuple[str, ...]] = {
                   "pricing", "core", "engine", "serve", "telemetry"),
     "shard": ("util", "analysis", "sim", "chaos", "serve", "workloads",
               "telemetry"),
+    "obs": ("util", "analysis", "pricing", "telemetry"),
+    "obsflow": ("util", "analysis", "sim", "chaos", "serve", "workloads",
+                "shard", "pricing", "obs", "telemetry"),
     "service": ("util", "analysis", "sim", "network", "storage", "formats",
                 "datagen", "faas", "iaas", "pricing", "chaos", "engine",
-                "core", "serve", "workloads", "telemetry"),
+                "core", "serve", "workloads", "obs", "telemetry"),
     "bench": ("util", "analysis", "sim", "network", "storage", "formats",
               "datagen", "faas", "iaas", "pricing", "chaos", "futures",
               "engine", "core", "serve", "workloads", "shard", "service",
               "telemetry"),
     "app": ("util", "analysis", "sim", "network", "storage", "formats",
             "datagen", "faas", "iaas", "pricing", "chaos", "futures",
-            "engine", "core", "serve", "workloads", "shard", "service",
-            "bench", "lint", "telemetry"),
+            "engine", "core", "serve", "workloads", "shard", "obs",
+            "obsflow", "service", "bench", "lint", "telemetry"),
 }

@@ -1,0 +1,62 @@
+"""Observability and diagnostics plane over :mod:`repro.telemetry`.
+
+Four subsystems, all deterministic and all outcome-neutral (attaching
+them to a run never changes what the run computes):
+
+* :mod:`repro.obs.slo` — declarative SLOs, sliding-window error-budget
+  accounting, Google-SRE-style multi-window burn-rate alerts;
+* :mod:`repro.obs.sampler` — tail-based trace sampling (keep
+  slow/error/fault-touched traces, seeded baseline for the rest);
+* :mod:`repro.obs.flight` — bounded flight-recorder rings and
+  canonical-JSON incident bundles;
+* :mod:`repro.obs.profiler` — span trees folded into per-stage
+  resource/cost profiles (the optimizer feed).
+
+:mod:`repro.obs.plane` packages the first three as a replay observer;
+:mod:`repro.obs.scenario` (a layer up — it imports the sharded
+fabric) runs observed replays and the ``repro obs --smoke`` gate. See
+``docs/observability.md``.
+"""
+
+from repro.obs.flight import (
+    DEFAULT_RING_CAPACITY,
+    INCIDENT_SCHEMA,
+    FlightRecorder,
+    bundle_digest,
+    verify_bundle,
+)
+from repro.obs.plane import ObsConfig, ReplayObsPlane
+from repro.obs.profiler import PROFILE_SCHEMA, profile_recorder, profile_spans
+from repro.obs.sampler import SamplerConfig, TailSampler, baseline_keep
+from repro.obs.slo import (
+    DEFAULT_BURN_RULES,
+    Alert,
+    BurnRule,
+    SLOEngine,
+    SLOPolicy,
+    SlidingWindow,
+    evaluate_offline,
+)
+
+__all__ = [
+    "Alert",
+    "BurnRule",
+    "DEFAULT_BURN_RULES",
+    "DEFAULT_RING_CAPACITY",
+    "FlightRecorder",
+    "INCIDENT_SCHEMA",
+    "ObsConfig",
+    "PROFILE_SCHEMA",
+    "ReplayObsPlane",
+    "SLOEngine",
+    "SLOPolicy",
+    "SamplerConfig",
+    "SlidingWindow",
+    "TailSampler",
+    "baseline_keep",
+    "bundle_digest",
+    "evaluate_offline",
+    "profile_recorder",
+    "profile_spans",
+    "verify_bundle",
+]

@@ -1,0 +1,113 @@
+"""The flight recorder: bounded recent-history rings and incident bundles.
+
+Post-incident debugging needs the moments *before* the alert, but a
+replay serves hundreds of thousands of requests — keeping everything is
+off the table. The :class:`FlightRecorder` keeps a bounded ring of
+recent notes per shard (``collections.deque(maxlen=N)``: O(1) append,
+old entries fall off the back) and, when something fires — a burn-rate
+alert, a chaos fault breaching an SLO — freezes the rings into an
+**incident bundle**: a canonical-JSON document carrying the trigger,
+the recent history of the implicated shards, a metrics snapshot, the
+retained-trace ids, and enough config to reproduce the run.
+
+Bundles are schema-versioned (``repro.obs.incident/1``) and digested
+(sha256 over the canonical bytes) so the determinism contract extends
+to incidents: same seed, same fault plan, byte-identical bundle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+
+from repro.telemetry.export import canonical_json, round_floats
+
+INCIDENT_SCHEMA = "repro.obs.incident/1"
+
+#: Default per-shard ring capacity. Sized so the ring spans several
+#: control intervals of interesting events without holding the bulk of
+#: a replay's traffic.
+DEFAULT_RING_CAPACITY = 256
+
+
+class FlightRecorder:
+    """Bounded per-shard rings of recent observability notes.
+
+    A *note* is a small dict — ``{"t": ..., "kind": ..., ...}`` — not a
+    span: the recorder stores only what the integration explicitly
+    notes (sheds, failures, rescues, faults, alerts), which keeps the
+    per-event cost of the happy path at zero.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self._rings: dict[str, deque] = {}
+        self.incidents: list[dict] = []
+
+    def _new_ring(self) -> deque:
+        """A fresh bounded ring (hot-path integrations inline ``note``)."""
+        return deque(maxlen=self.capacity)
+
+    def note(self, shard: str, t: float, kind: str, **attrs) -> None:
+        """Append one note to a shard's ring (creates the ring lazily)."""
+        ring = self._rings.get(shard)
+        if ring is None:
+            ring = self._rings[shard] = self._new_ring()
+        entry = {"t": round(t, 9), "kind": kind}
+        entry.update(attrs)
+        ring.append(entry)
+
+    def ring(self, shard: str) -> list[dict]:
+        """The shard's current ring contents, oldest first."""
+        return list(self._rings.get(shard, ()))
+
+    def shards(self) -> list[str]:
+        return sorted(self._rings)
+
+    # -- incident bundles --------------------------------------------------
+
+    def dump_incident(self, at: float, trigger: dict,
+                      shards=None,
+                      metrics: dict | None = None,
+                      traces: dict | None = None,
+                      config: dict | None = None) -> dict:
+        """Freeze the rings into a schema-versioned incident bundle.
+
+        ``trigger`` describes what fired (an alert's dict, a fault
+        breach); ``shards`` restricts the ring excerpt to the implicated
+        shards (None = all); ``metrics`` / ``traces`` / ``config``
+        attach the SLO-metric snapshot, retained-trace information, and
+        run configuration. The bundle is float-rounded on construction
+        so serializing it with :func:`canonical_json` is byte-stable.
+        """
+        selected = self.shards() if shards is None else sorted(shards)
+        bundle = {
+            "schema": INCIDENT_SCHEMA,
+            "at": round(at, 9),
+            "seq": len(self.incidents),
+            "trigger": trigger,
+            "rings": {shard: self.ring(shard) for shard in selected
+                      if shard in self._rings},
+            "metrics": metrics or {},
+            "traces": traces or {},
+            "config": config or {},
+        }
+        bundle = round_floats(bundle)
+        bundle["digest"] = bundle_digest(bundle)
+        self.incidents.append(bundle)
+        return bundle
+
+
+def bundle_digest(bundle: dict) -> str:
+    """sha256 over the bundle's canonical bytes (digest field excluded)."""
+    body = {k: v for k, v in bundle.items() if k != "digest"}
+    return hashlib.sha256(canonical_json(body).encode()).hexdigest()
+
+
+def verify_bundle(bundle: dict) -> bool:
+    """Check schema and digest integrity of a (possibly reloaded) bundle."""
+    if bundle.get("schema") != INCIDENT_SCHEMA:
+        return False
+    return bundle.get("digest") == bundle_digest(bundle)

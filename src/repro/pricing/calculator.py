@@ -122,6 +122,25 @@ class CostCalculator:
         return iops * 3600.0 * pricing.read_request
 
 
+def stage_cost(invocations, storage_reads, storage_writes) -> dict:
+    """Pure per-stage cost attribution (the obs profiler's price hook).
+
+    ``invocations`` is an iterable of ``(memory_bytes, duration_s)``
+    pairs; ``storage_reads`` / ``storage_writes`` map service name to
+    ``(request_count, total_bytes)``. Returns the compute/storage
+    split in dollars — same inputs, same floats, no state.
+    """
+    compute = sum(LAMBDA_PRICING.invocation_cost(memory, duration)
+                  for memory, duration in invocations)
+    storage = 0.0
+    for service, (count, total_bytes) in sorted(storage_reads.items()):
+        storage += STORAGE_PRICES[service].read_cost(count, total_bytes)
+    for service, (count, total_bytes) in sorted(storage_writes.items()):
+        storage += STORAGE_PRICES[service].write_cost(count, total_bytes)
+    return {"compute_usd": compute, "storage_usd": storage,
+            "total_usd": compute + storage}
+
+
 def gib_month_price(service_name: str) -> float:
     """Dollars per GiB-month at rest for a storage service."""
     return STORAGE_PRICES[service_name].storage_per_gib_month

@@ -79,6 +79,10 @@ class QueryRequest:
     priority: int
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: Set by the shard router when this request was drained out of a
+    #: merged or failed shard and re-homed. The observability plane's
+    #: tail sampler always retains fault-touched traces.
+    rescued: bool = False
 
     @property
     def fifo_key(self) -> tuple[float, int]:

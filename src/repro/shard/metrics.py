@@ -21,57 +21,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-#: Histogram range: 1 ms to ~10^4 s, 64 buckets per decade.
-_LOG_MIN = -3.0
-_LOG_MAX = 4.0
-_BUCKETS_PER_DECADE = 64
-_BUCKETS = int((_LOG_MAX - _LOG_MIN) * _BUCKETS_PER_DECADE)
+# The histogram itself now lives in the telemetry layer (shared with
+# the Histogram instrument and the obs plane); re-exported here because
+# the shard facade and its tests name it.
+from repro.telemetry.metrics import LatencyHistogram
 
-
-class LatencyHistogram:
-    """Fixed log-bucketed latency distribution with stable percentiles.
-
-    Buckets span 1 ms to 10^4 s at 64 per decade (~3.7% relative
-    resolution); out-of-range samples clamp to the edge buckets. The
-    reported percentile is the upper edge of the bucket where the
-    cumulative count crosses the rank — a deterministic value that
-    merges associatively across shards.
-    """
-
-    __slots__ = ("counts", "total")
-
-    def __init__(self) -> None:
-        self.counts = [0] * (_BUCKETS + 2)
-        self.total = 0
-
-    def record(self, latency_s: float) -> None:
-        if latency_s <= 0.0:
-            index = 0
-        else:
-            position = (math.log10(latency_s) - _LOG_MIN) * _BUCKETS_PER_DECADE
-            index = min(max(int(position) + 1, 0), _BUCKETS + 1)
-        self.counts[index] += 1
-        self.total += 1
-
-    def merge(self, other: "LatencyHistogram") -> None:
-        for index, count in enumerate(other.counts):
-            self.counts[index] += count
-        self.total += other.total
-
-    def percentile(self, p: float) -> float:
-        """Upper-edge latency of the bucket holding the ``p``-th centile."""
-        if self.total == 0:
-            return 0.0
-        rank = math.ceil(self.total * p / 100.0)
-        cumulative = 0
-        for index, count in enumerate(self.counts):
-            cumulative += count
-            if cumulative >= rank:
-                if index == 0:
-                    return 0.0
-                exponent = _LOG_MIN + index / _BUCKETS_PER_DECADE
-                return round(10.0 ** exponent, 9)
-        return round(10.0 ** _LOG_MAX, 9)
+__all__ = ["FleetMetrics", "FleetReport", "LatencyHistogram",
+           "ShardMetrics"]
 
 
 class ShardMetrics:
@@ -165,6 +121,11 @@ class FleetReport:
     slo_attainment: float
     cost_usd: float
     per_shard: list[dict] = field(default_factory=list)
+    #: Optional SLO-engine roll-up (error budgets, burn-rate alerts)
+    #: attached by the obs plane. ``None`` — the default — keeps the
+    #: serialized report (and every digest derived from it) unchanged
+    #: for runs without an observability plane.
+    slo: dict | None = None
 
     @property
     def balanced(self) -> bool:
@@ -173,7 +134,7 @@ class FleetReport:
                                 + self.pending)
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "shards": self.shards,
             "offered": self.offered,
             "completed": self.completed,
@@ -189,6 +150,9 @@ class FleetReport:
             "cost_usd": round(self.cost_usd, 9),
             "per_shard": self.per_shard,
         }
+        if self.slo is not None:
+            out["slo"] = self.slo
+        return out
 
 
 class FleetMetrics:

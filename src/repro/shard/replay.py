@@ -198,7 +198,20 @@ def _next_request(gateway: QueryGateway):
     return request
 
 
-def _complete(metrics, request, start: float) -> float:
+# Knuth's multiplicative hash constant, for the observer interest
+# filter's deterministic request-id slice (shared spec with
+# ``repro.obs.sampler.baseline_keep`` — kept as a literal so the shard
+# layer stays import-free of obs).
+_SAMPLE_HASH_MULT = 2654435761
+
+#: Sentinel slow-threshold: every latency compares >= -inf, so an
+#: observer without an interest spec sees every completion.
+_ALWAYS = float("-inf")
+
+
+def _complete(metrics, request, start: float, shard: str = "",
+              on_completion=None, slow_s: float = _ALWAYS,
+              salt: int = 0, cut: int = 0) -> float:
     finish = start + request.plan
     metrics.record_completion(CompletedQuery(
         tenant=request.tenant, query_id=f"q{request.seq}",
@@ -206,12 +219,30 @@ def _complete(metrics, request, start: float) -> float:
         finished_at=finish, runtime=request.plan,
         cost_usd=request.plan * _USD_PER_SLOT_SECOND,
         retries=0, hedges=0))
+    if on_completion is not None:
+        # Interest pre-filter (see run_replay): three scalar checks in
+        # place of a Python call per served request. With the default
+        # sentinel bounds every completion passes.
+        if (finish - request.submitted_at >= slow_s or request.rescued
+                or ((request.seq * _SAMPLE_HASH_MULT + salt)
+                    & 0xFFFFFFFF) < cut):
+            on_completion(finish, shard, request)
     return finish
 
 
-def _advance(bank: _SlotBank, gateway: QueryGateway, now: float) -> None:
-    """Drain one shard's slots up to virtual time ``now``."""
+def _advance(bank: _SlotBank, gateway: QueryGateway, now: float,
+             on_completion=None, slow_s: float = _ALWAYS,
+             salt: int = 0, cut: int = 0) -> None:
+    """Drain one shard's slots up to virtual time ``now``.
+
+    ``on_completion`` is the observer's pre-bound completion hook (not
+    the observer itself) and ``slow_s``/``salt``/``cut`` its unpacked
+    interest spec: both are hoisted out of the loop at the call sites
+    because this is the replay's per-event hot path.
+    """
     busy = bank.busy
+    shard = gateway.shard_id
+    metrics = gateway.metrics
     while busy and busy[0] <= now:
         freed = heapq.heappop(busy)
         request = _next_request(gateway)
@@ -219,27 +250,33 @@ def _advance(bank: _SlotBank, gateway: QueryGateway, now: float) -> None:
             continue
         start = freed if freed >= request.submitted_at \
             else request.submitted_at
-        heapq.heappush(busy, _complete(gateway.metrics, request, start))
+        heapq.heappush(busy, _complete(metrics, request, start, shard,
+                                       on_completion, slow_s, salt, cut))
     while len(busy) < bank.slots:
         request = _next_request(gateway)
         if request is None:
             break
-        heapq.heappush(busy, _complete(gateway.metrics, request, now))
+        heapq.heappush(busy, _complete(metrics, request, now, shard,
+                                       on_completion, slow_s, salt, cut))
 
 
-def _drain_all(banks: dict, gateways: dict, upto: float) -> None:
+def _drain_all(banks: dict, gateways: dict, upto: float,
+               on_completion=None, slow_s: float = _ALWAYS,
+               salt: int = 0, cut: int = 0) -> None:
     for shard in sorted(banks):
         if shard in gateways:
-            _advance(banks[shard], gateways[shard], upto)
+            _advance(banks[shard], gateways[shard], upto,
+                     on_completion, slow_s, salt, cut)
 
 
 def _quiesce(bank: _SlotBank, gateway: QueryGateway, horizon: float,
-             step: float) -> None:
+             step: float, on_completion=None, slow_s: float = _ALWAYS,
+             salt: int = 0, cut: int = 0) -> None:
     """Drain one shard past its last completion (end of trace)."""
     while bank.busy or gateway.total_pending:
         if bank.busy:
             horizon = max(horizon, bank.busy[0])
-        _advance(bank, gateway, horizon)
+        _advance(bank, gateway, horizon, on_completion, slow_s, salt, cut)
         horizon += step
 
 
@@ -252,7 +289,7 @@ def _distinct(ids) -> int:
     return 1 + int((ordered[1:] != ordered[:-1]).sum())
 
 
-def run_replay(config: ReplayConfig) -> ReplayResult:
+def run_replay(config: ReplayConfig, observer=None) -> ReplayResult:
     """Replay a Zipf trace through the sharded fabric, deterministically.
 
     One pass over the trace: at each arrival the routed shard's slot
@@ -262,6 +299,25 @@ def run_replay(config: ReplayConfig) -> ReplayResult:
     a load window and may split/merge; configured shard failures fire
     at the control cadence too. After the last arrival all shards are
     drained to quiescence, and the fleet roll-up is reconciled.
+
+    ``observer`` is an optional observability plane (duck-typed; see
+    :class:`repro.obs.plane.ReplayObsPlane`): ``on_completion`` fires
+    per served request, ``on_shard_failure`` when a shard dies,
+    ``on_fault`` per injected chaos fault, ``on_control_tick`` after
+    each control interval's drain/rebalance, and ``on_end`` after
+    quiescence. Observation is strictly outcome-neutral — the returned
+    result (and its digest) is byte-identical with or without one.
+
+    An observer that only needs a *subset* of completions may expose a
+    ``completion_interest = (slow_threshold_s, salt, cut)`` attribute:
+    the replay then pre-filters the firehose inline — a completion is
+    delivered iff its latency is ``>= slow_threshold_s``, the request
+    was rescued from a failed shard, or the Knuth hash of its request
+    id (salted with ``salt``, both ints) falls under ``cut`` (an
+    integer threshold out of 2^32). Three scalar checks replace a
+    Python call per served request; observers that expose it must
+    reconstruct totals from the shard counters (they are scraped at
+    every control tick anyway).
     """
     streams = RandomStreams(config.seed)
     times, ids = zipf_trace(
@@ -299,18 +355,31 @@ def run_replay(config: ReplayConfig) -> ReplayResult:
 
     pending_failures = sorted(config.fail_at)
     failures = 0
+    # Pre-bind the per-completion hook and unpack its interest spec:
+    # the hook fires once per served request, the other observer hooks
+    # only at control cadence.
+    on_completion = observer.on_completion if observer is not None else None
+    slow_s, salt, cut = _ALWAYS, 0, 0
+    if observer is not None:
+        interest = getattr(observer, "completion_interest", None)
+        if interest is not None:
+            slow_s, salt, cut = interest
     injector = None
     if config.fault_plan:
         from repro.chaos.injector import FaultInjector
         from repro.chaos.plan import get_plan
         injector = FaultInjector(get_plan(config.fault_plan),
                                  RandomStreams(config.seed))
+        if observer is not None:
+            injector.observer = observer
 
     def kill(victim: str) -> None:
         nonlocal failures
-        router.fail_shard(victim)
+        orphans = router.fail_shard(victim)
         banks.pop(victim)
         failures += 1
+        if observer is not None:
+            observer.on_shard_failure(clock.now, victim, orphans)
 
     next_control = config.control_interval_s
 
@@ -333,28 +402,35 @@ def run_replay(config: ReplayConfig) -> ReplayResult:
                     if len(router.gateways) > 1 \
                             and injector.on_shard(shard, next_control):
                         kill(shard)
-            _drain_all(banks, router.gateways, next_control)
+            _drain_all(banks, router.gateways, next_control,
+                       on_completion, slow_s, salt, cut)
             for event in rebalancer.step(next_control):
                 if event.action == "split":
                     banks[event.peer] = _SlotBank(config.slots_per_shard)
                 elif event.action == "merge":
                     banks.pop(event.shard)
+            if observer is not None:
+                observer.on_control_tick(next_control, router)
             next_control += config.control_interval_s
         clock.now = now
         tenant = f"t{ids[index]}"
         shard = router.route(tenant).shard
-        _advance(banks[shard], router.gateways[shard], now)
+        _advance(banks[shard], router.gateways[shard], now,
+                 on_completion, slow_s, salt, cut)
         request = router.submit(tenant, float(services[index]))
         if request is not None:
             # A stale-epoch retry may have re-routed the tenant: the
             # cache is fresh after submit, so re-read the shard.
             shard = router.route(tenant).shard
-            _advance(banks[shard], router.gateways[shard], now)
+            _advance(banks[shard], router.gateways[shard], now,
+                     on_completion, slow_s, salt, cut)
 
     clock.now = config.window_s
     for shard in sorted(banks):
         _quiesce(banks[shard], router.gateways[shard], config.window_s,
-                 config.mean_service_s)
+                 config.mean_service_s, on_completion, slow_s, salt, cut)
+    if observer is not None:
+        observer.on_end(config.window_s, router)
 
     report = router.roll_up()
     return ReplayResult(

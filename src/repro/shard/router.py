@@ -212,6 +212,8 @@ class ShardRouter:
         """
         moved = 0
         for request in orphans:
+            if recovered:
+                request.rescued = True
             target = self._refresh(request.tenant).shard
             self.gateways[target].adopt(request)
             moved += 1

@@ -29,6 +29,8 @@ from repro.telemetry.export import (
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
+    Histogram,
+    LatencyHistogram,
     MetricRegistry,
     TimeSeries,
 )
@@ -48,7 +50,9 @@ from repro.telemetry.spans import Span, parent_ids
 __all__ = [
     "Counter",
     "Gauge",
+    "Histogram",
     "KernelMonitor",
+    "LatencyHistogram",
     "MetricRegistry",
     "NULL_RECORDER",
     "NullRecorder",

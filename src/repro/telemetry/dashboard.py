@@ -50,6 +50,17 @@ def render_dashboard(recorder, series_width: int = 48,
             lines.append(f"  {name:<{width}}  value={g.value:>12.3f}  "
                          f"peak={g.peak:>12.3f}")
 
+    if metrics.histograms:
+        lines.append("== latency percentiles ==")
+        width = max(len(n) for n in metrics.histograms)
+        for name in sorted(metrics.histograms):
+            h = metrics.histograms[name]
+            lines.append(
+                f"  {name:<{width}}  n={h.count:>8}  "
+                f"p50={h.percentile(50.0):>9.4f}s  "
+                f"p95={h.percentile(95.0):>9.4f}s  "
+                f"p99={h.percentile(99.0):>9.4f}s")
+
     if metrics.series:
         lines.append("== time series ==")
         for name in sorted(metrics.series):

@@ -94,21 +94,32 @@ def _alloc_lane(lanes: list[list[tuple[float, float]]], start: float,
     return len(lanes) - 1
 
 
-def chrome_trace(recorder, include_counters: bool = True) -> dict:
-    """Render a recorder's state as a Chrome trace-event document."""
+def chrome_trace(recorder, include_counters: bool = True,
+                 trace_ids=None) -> dict:
+    """Render a recorder's state as a Chrome trace-event document.
+
+    ``trace_ids`` (an iterable of trace-id strings) restricts the export
+    to those traces: only their spans are rendered, and the global
+    event/counter rows are dropped — the shape ``repro trace --trace``
+    and incident-bundle excerpt re-export want. ``None`` exports
+    everything.
+    """
     trace_events: list[dict] = []
     pids: dict[str, int] = {}
     lanes_by_pid: dict[int, list[list[tuple[float, float]]]] = {}
     lane_of_span: dict[tuple[str, int], int] = {}
+    selected = None if trace_ids is None else set(trace_ids)
+    spans = recorder.spans if selected is None \
+        else [span for span in recorder.spans if span.trace_id in selected]
 
     max_t = 0.0
-    for span in recorder.spans:
+    for span in spans:
         if span.end is not None and span.end > max_t:
             max_t = span.end
         elif span.start > max_t:
             max_t = span.start
 
-    for span in recorder.spans:
+    for span in spans:
         pid = pids.get(span.trace_id)
         if pid is None:
             pid = pids[span.trace_id] = len(pids) + 1
@@ -140,7 +151,7 @@ def chrome_trace(recorder, include_counters: bool = True) -> dict:
                 "args": round_floats(ev_args),
             })
 
-    if recorder.events:
+    if recorder.events and selected is None:
         trace_events.append({
             "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
             "args": {"name": "events"},
@@ -154,7 +165,7 @@ def chrome_trace(recorder, include_counters: bool = True) -> dict:
                 "s": "g", "args": round_floats(ev_args),
             })
 
-    if include_counters:
+    if include_counters and selected is None:
         for name, series in sorted(recorder.metrics.series.items()):
             for t, v in series.points:
                 trace_events.append({

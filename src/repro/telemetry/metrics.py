@@ -1,6 +1,6 @@
 """Typed metric instruments stamped on the virtual clock.
 
-Three instrument kinds cover every telemetry need of the simulation:
+Four instrument kinds cover every telemetry need of the simulation:
 
 * :class:`Counter` — a monotonically increasing count (events processed,
   cold starts, ``SlowDown`` emissions);
@@ -8,7 +8,10 @@ Three instrument kinds cover every telemetry need of the simulation:
   (concurrent executions, queue depth);
 * :class:`TimeSeries` — (virtual-time, value) samples with optional
   minimum sample spacing and a hard point cap, so high-frequency probes
-  (a token bucket draining during Figure 5) stay bounded in memory.
+  (a token bucket draining during Figure 5) stay bounded in memory;
+* :class:`Histogram` — a fixed log-bucketed latency distribution
+  (:class:`LatencyHistogram`) with deterministic percentiles, O(1)
+  memory per observation.
 
 Instruments are created lazily through a :class:`MetricRegistry` and are
 identified by dotted names (``lambda.cold_starts``,
@@ -19,10 +22,97 @@ simulation it observes.
 
 from __future__ import annotations
 
+import math
+
 #: Default cap on stored samples per time series. Beyond it, samples are
 #: counted in ``dropped`` instead of stored, so a runaway probe cannot
 #: exhaust memory.
 DEFAULT_MAX_POINTS = 8_192
+
+#: Histogram range: 1 ms to ~10^4 s, 64 buckets per decade.
+_LOG_MIN = -3.0
+_LOG_MAX = 4.0
+_BUCKETS_PER_DECADE = 64
+_BUCKETS = int((_LOG_MAX - _LOG_MIN) * _BUCKETS_PER_DECADE)
+
+#: Percentile points every histogram reduction reports.
+HISTOGRAM_POINTS = (50.0, 95.0, 99.0)
+
+
+class LatencyHistogram:
+    """Fixed log-bucketed latency distribution with stable percentiles.
+
+    Buckets span 1 ms to 10^4 s at 64 per decade (~3.7% relative
+    resolution); out-of-range samples clamp to the edge buckets. The
+    reported percentile is the upper edge of the bucket where the
+    cumulative count crosses the rank — a deterministic value that
+    merges associatively across shards.
+    """
+
+    __slots__ = ("counts", "total")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (_BUCKETS + 2)
+        self.total = 0
+
+    def record(self, latency_s: float) -> None:
+        if latency_s <= 0.0:
+            index = 0
+        else:
+            position = (math.log10(latency_s) - _LOG_MIN) * _BUCKETS_PER_DECADE
+            index = min(max(int(position) + 1, 0), _BUCKETS + 1)
+        self.counts[index] += 1
+        self.total += 1
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.total += other.total
+
+    def percentile(self, p: float) -> float:
+        """Upper-edge latency of the bucket holding the ``p``-th centile."""
+        if self.total == 0:
+            return 0.0
+        rank = math.ceil(self.total * p / 100.0)
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= rank:
+                if index == 0:
+                    return 0.0
+                exponent = _LOG_MIN + index / _BUCKETS_PER_DECADE
+                return round(10.0 ** exponent, 9)
+        return round(10.0 ** _LOG_MAX, 9)
+
+
+class Histogram:
+    """A named latency distribution instrument.
+
+    Thin instrument wrapper over :class:`LatencyHistogram` so recorders
+    can hand out histograms by dotted name like every other instrument
+    kind. The snapshot reduction reports the count plus the
+    :data:`HISTOGRAM_POINTS` percentiles — the full bucket array stays
+    in memory only.
+    """
+
+    __slots__ = ("name", "dist")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.dist = LatencyHistogram()
+
+    def observe(self, value_s: float) -> None:
+        """Record one duration/latency sample (seconds)."""
+        self.dist.record(value_s)
+
+    @property
+    def count(self) -> int:
+        """Samples observed so far."""
+        return self.dist.total
+
+    def percentile(self, p: float) -> float:
+        """Deterministic bucket-edge percentile (see LatencyHistogram)."""
+        return self.dist.percentile(p)
 
 
 class Counter:
@@ -108,6 +198,7 @@ class MetricRegistry:
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
         self.series: dict[str, TimeSeries] = {}
+        self.histograms: dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
         """The counter called ``name`` (created on first use)."""
@@ -136,6 +227,13 @@ class MetricRegistry:
                 name, min_dt=min_dt, max_points=max_points)
         return instrument
 
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(name)
+        return instrument
+
     def snapshot(self) -> dict:
         """JSON-ready dict of every instrument's current state."""
         return {
@@ -146,4 +244,9 @@ class MetricRegistry:
             "series": {name: {"points": [[t, v] for t, v in s.points],
                               "dropped": s.dropped}
                        for name, s in sorted(self.series.items())},
+            "histograms": {
+                name: {"count": h.count,
+                       **{f"p{point:g}": h.percentile(point)
+                          for point in HISTOGRAM_POINTS}}
+                for name, h in sorted(self.histograms.items())},
         }

@@ -32,6 +32,7 @@ from typing import Optional
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
+    Histogram,
     MetricRegistry,
     TimeSeries,
 )
@@ -98,6 +99,10 @@ class TelemetryRecorder:
     def timeseries(self, name: str, min_dt: float = 0.0) -> TimeSeries:
         """The time series called ``name``."""
         return self.metrics.timeseries(name, min_dt=min_dt)
+
+    def histogram(self, name: str) -> Histogram:
+        """The latency histogram called ``name``."""
+        return self.metrics.histogram(name)
 
     def unique_name(self, base: str) -> str:
         """``base#N`` with a per-base serial — deterministic identity for
@@ -198,10 +203,20 @@ class _NullSpan(Span):
         return self
 
 
+class _NullHistogram(Histogram):
+    """Shared inert histogram: observations vanish, percentiles are 0."""
+
+    __slots__ = ()
+
+    def observe(self, value_s: float) -> None:
+        pass
+
+
 _NULL_SPAN = _NullSpan()
 _NULL_COUNTER = Counter("null")
 _NULL_GAUGE = Gauge("null")
 _NULL_SERIES = TimeSeries("null", max_points=0)
+_NULL_HISTOGRAM = _NullHistogram("null")
 
 
 class NullRecorder:
@@ -222,6 +237,9 @@ class NullRecorder:
 
     def timeseries(self, name: str, min_dt: float = 0.0) -> TimeSeries:
         return _NULL_SERIES
+
+    def histogram(self, name: str) -> Histogram:
+        return _NULL_HISTOGRAM
 
     def unique_name(self, base: str) -> str:
         return base

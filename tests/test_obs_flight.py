@@ -1,0 +1,114 @@
+"""Flight recorder: ring bounds, incident bundles, digest integrity."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.flight import (
+    DEFAULT_RING_CAPACITY,
+    INCIDENT_SCHEMA,
+    FlightRecorder,
+    bundle_digest,
+    verify_bundle,
+)
+from repro.telemetry import canonical_json
+
+
+class TestRing:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_ring_evicts_oldest_at_capacity(self):
+        recorder = FlightRecorder(capacity=3)
+        for i in range(5):
+            recorder.note("s0", float(i), "tick", seq=i)
+        ring = recorder.ring("s0")
+        assert len(ring) == 3
+        assert [note["seq"] for note in ring] == [2, 3, 4]
+
+    def test_rings_are_per_shard(self):
+        recorder = FlightRecorder()
+        recorder.note("s0", 1.0, "a")
+        recorder.note("s1", 2.0, "b")
+        assert recorder.shards() == ["s0", "s1"]
+        assert [n["kind"] for n in recorder.ring("s0")] == ["a"]
+
+    def test_unknown_shard_ring_is_empty(self):
+        assert FlightRecorder().ring("nope") == []
+
+    def test_default_capacity(self):
+        assert FlightRecorder().capacity == DEFAULT_RING_CAPACITY
+
+
+class TestIncidents:
+    def _bundle(self, recorder=None, **kwargs):
+        recorder = recorder or FlightRecorder()
+        recorder.note("s0", 1.0, "shard-failure", orphans=4)
+        recorder.note("s1", 2.0, "trace-kept", trace="q7", reason="fault")
+        return recorder, recorder.dump_incident(
+            at=3.0, trigger={"rule": "fast-burn", "scope": "fleet"},
+            **kwargs)
+
+    def test_bundle_shape_and_schema(self):
+        _, bundle = self._bundle(
+            metrics={"attainment": 0.8},
+            traces={"recent_kept": ["q7"]},
+            config={"seed": 3})
+        assert bundle["schema"] == INCIDENT_SCHEMA
+        assert bundle["seq"] == 0
+        assert set(bundle["rings"]) == {"s0", "s1"}
+        assert bundle["metrics"] == {"attainment": 0.8}
+        assert verify_bundle(bundle)
+
+    def test_shard_filter_restricts_rings(self):
+        _, bundle = self._bundle(shards=["s0", "missing"])
+        assert set(bundle["rings"]) == {"s0"}
+
+    def test_incident_seq_increments(self):
+        recorder, first = self._bundle()
+        second = recorder.dump_incident(at=4.0, trigger={"rule": "slow"})
+        assert (first["seq"], second["seq"]) == (0, 1)
+        assert recorder.incidents == [first, second]
+
+    def test_digest_excludes_itself(self):
+        _, bundle = self._bundle()
+        assert bundle["digest"] == bundle_digest(bundle)
+
+    def test_tampering_breaks_verification(self):
+        _, bundle = self._bundle()
+        tampered = json.loads(canonical_json(bundle))
+        tampered["at"] = 99.0
+        assert not verify_bundle(tampered)
+
+    def test_wrong_schema_fails_verification(self):
+        _, bundle = self._bundle()
+        other = dict(bundle, schema="something/2")
+        assert not verify_bundle(other)
+
+    def test_bundle_round_trips_through_json(self):
+        _, bundle = self._bundle(metrics={"x": 1.23456789012345})
+        reloaded = json.loads(canonical_json(bundle))
+        assert verify_bundle(reloaded)
+        assert canonical_json(reloaded) == canonical_json(bundle)
+
+
+class TestDeterminism:
+    @given(st.lists(
+        st.tuples(st.sampled_from(["s0", "s1", "s2"]),
+                  st.floats(min_value=0.0, max_value=100.0),
+                  st.sampled_from(["tick", "shed", "alert"])),
+        max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_same_notes_same_bundle_bytes(self, notes):
+        bundles = []
+        for _ in range(2):
+            recorder = FlightRecorder(capacity=16)
+            for shard, t, kind in notes:
+                recorder.note(shard, t, kind)
+            bundles.append(recorder.dump_incident(
+                at=101.0, trigger={"rule": "r"}))
+        assert canonical_json(bundles[0]) == canonical_json(bundles[1])
+        assert bundles[0]["digest"] == bundles[1]["digest"]

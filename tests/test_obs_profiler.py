@@ -1,0 +1,130 @@
+"""Resource-attribution profiler: span folds, shares, and stage costs."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from test_telemetry_export import record_q6  # noqa: E402
+
+from repro.obs.profiler import PROFILE_SCHEMA, profile_recorder, profile_spans
+from repro.pricing.calculator import stage_cost
+from repro.telemetry import canonical_json
+from repro.telemetry.spans import Span
+from repro import units
+
+
+def _span(trace, span_id, parent, name, category, start, end, **attrs):
+    span = Span(trace_id=trace, span_id=span_id, parent_id=parent,
+                name=name, category=category, start=start)
+    span.finish(end, **attrs)
+    return span
+
+
+def _synthetic_stage():
+    """One stage, one worker: 6s of worker time, fully attributed.
+
+    scan 2s (storage_wait) + compute 3s + write 1s (storage_wait),
+    plus a 0.5s coldstart under the stage's invoke.
+    """
+    return [
+        _span("q0", 1, None, "stage scan-0", "stage", 0.0, 7.0,
+              pipeline="scan-0"),
+        _span("q0", 2, 1, "invoke scan-0/0", "faas", 0.0, 7.0,
+              memory_mb=1792.0),
+        _span("q0", 3, 2, "coldstart", "faas", 0.0, 0.5),
+        _span("q0", 4, 2, "worker scan-0/0", "worker", 0.5, 6.5,
+              bytes_read=int(8 * units.MiB),
+              bytes_written=int(2 * units.MiB), rows_out=1000),
+        _span("q0", 5, 4, "phase scan", "phase", 0.5, 2.5),
+        _span("q0", 6, 4, "phase compute", "phase", 2.5, 5.5),
+        _span("q0", 7, 4, "phase write", "phase", 5.5, 6.5),
+        _span("q0", 8, 5, "storage.read", "storage", 0.5, 2.5,
+              service="s3-standard", bytes=int(8 * units.MiB), chunks=2),
+        _span("q0", 9, 7, "storage.write", "storage", 5.5, 6.5,
+              service="s3-standard", bytes=int(2 * units.MiB)),
+        _span("q0", 10, 6, "filter", "operator", 2.5, 5.5, rows_out=1000),
+    ]
+
+
+class TestSyntheticStage:
+    def test_fold_shape(self):
+        feed = profile_spans(_synthetic_stage())
+        assert feed["schema"] == PROFILE_SCHEMA
+        assert feed["stage_count"] == 1
+        profile = feed["queries"]["q0"]["stages"]["scan-0"]
+        assert profile["workers"] == 1
+        assert profile["worker_s"] == pytest.approx(6.0)
+        assert profile["wall_s"] == pytest.approx(7.0)
+        assert profile["rows_out"] == 1000
+        assert profile["cold_starts"] == 1
+        assert profile["startup_s"] == pytest.approx(0.5)
+
+    def test_phase_shares(self):
+        profile = profile_spans(_synthetic_stage())[
+            "queries"]["q0"]["stages"]["scan-0"]
+        # Attributed = 2 + 3 + 1 + 0.5 startup = 6.5 > worker_s 6.0,
+        # so the denominator is 6.5 and "other" collapses to zero.
+        shares = profile["shares"]
+        assert shares["compute"] == pytest.approx(3.0 / 6.5, abs=1e-6)
+        assert shares["storage_wait"] == pytest.approx(3.0 / 6.5, abs=1e-6)
+        assert shares["startup"] == pytest.approx(0.5 / 6.5, abs=1e-6)
+        assert shares["other"] == pytest.approx(0.0, abs=1e-6)
+        assert sum(shares.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_storage_accounting(self):
+        profile = profile_spans(_synthetic_stage())[
+            "queries"]["q0"]["stages"]["scan-0"]
+        s3 = profile["storage"]["s3-standard"]
+        assert s3["reads"] == 2  # chunks attr
+        assert s3["writes"] == 1  # chunks defaults to 1
+        assert s3["read_bytes"] == int(8 * units.MiB)
+        assert s3["wait_s"] == pytest.approx(3.0)
+
+    def test_cost_matches_stage_cost(self):
+        profile = profile_spans(_synthetic_stage())[
+            "queries"]["q0"]["stages"]["scan-0"]
+        expected = stage_cost(
+            [(1792.0 * units.MiB, 7.0)],
+            {"s3-standard": (2, int(8 * units.MiB))},
+            {"s3-standard": (1, int(2 * units.MiB))})
+        for key in ("compute_usd", "storage_usd", "total_usd"):
+            assert profile["cost"][key] == pytest.approx(expected[key],
+                                                         rel=1e-6)
+        assert profile["cost"]["total_usd"] > 0
+
+    def test_operators_folded(self):
+        profile = profile_spans(_synthetic_stage())[
+            "queries"]["q0"]["stages"]["scan-0"]
+        assert profile["operators"]["filter"]["n"] == 1
+        assert profile["operators"]["filter"]["rows_out"] == 1000
+
+    def test_non_stage_traces_contribute_nothing(self):
+        spans = [_span("j0", 1, None, "job map", "futures", 0.0, 5.0)]
+        feed = profile_spans(spans)
+        assert feed["queries"] == {}
+        assert feed["cost"]["total_usd"] == 0.0
+
+
+class TestRealTrace:
+    def test_q6_profile(self):
+        """The recorded TPC-H Q6 trace folds into a costed profile."""
+        _, recorder = record_q6()
+        feed = profile_recorder(recorder)
+        assert feed["schema"] == PROFILE_SCHEMA
+        assert feed["stage_count"] >= 1
+        (query,) = feed["queries"]
+        stages = feed["queries"][query]["stages"]
+        for profile in stages.values():
+            assert profile["workers"] >= 1
+            assert 0.0 <= sum(profile["shares"].values()) <= 1.0 + 1e-6
+        assert feed["cost"]["compute_usd"] > 0
+        assert feed["cost"]["total_usd"] >= feed["cost"]["compute_usd"]
+
+    def test_q6_profile_is_deterministic(self):
+        _, first = record_q6()
+        _, second = record_q6()
+        assert canonical_json(profile_recorder(first)) == \
+            canonical_json(profile_recorder(second))

@@ -1,0 +1,149 @@
+"""Tail sampler: precedence, determinism, and trace conservation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.sampler import (
+    REASON_BASELINE,
+    REASON_ERROR,
+    REASON_FAULT,
+    REASON_SLOW,
+    SamplerConfig,
+    TailSampler,
+    baseline_keep,
+)
+
+
+class TestBaselineKeep:
+    def test_deterministic_across_calls(self):
+        assert all(baseline_keep(i, 7, 0.3) == baseline_keep(i, 7, 0.3)
+                   for i in range(500))
+
+    def test_rate_extremes(self):
+        assert not any(baseline_keep(i, 1, 0.0) for i in range(200))
+        assert all(baseline_keep(i, 1, 1.0) for i in range(200))
+
+    def test_rate_roughly_honoured(self):
+        kept = sum(baseline_keep(i, 42, 0.1) for i in range(10_000))
+        assert 700 <= kept <= 1300
+
+    def test_seed_changes_the_slice(self):
+        a = [baseline_keep(i, 0, 0.2) for i in range(1000)]
+        b = [baseline_keep(i, 1, 0.2) for i in range(1000)]
+        assert a != b
+
+
+class TestConfig:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            SamplerConfig(slow_threshold_s=0.0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            SamplerConfig(baseline_rate=1.5)
+
+
+class TestPrecedence:
+    def test_error_beats_everything(self):
+        sampler = TailSampler(SamplerConfig(slow_threshold_s=1.0))
+        assert sampler.observe(5.0, error=True, fault=True) == REASON_ERROR
+
+    def test_fault_beats_slow(self):
+        sampler = TailSampler(SamplerConfig(slow_threshold_s=1.0))
+        assert sampler.observe(5.0, fault=True) == REASON_FAULT
+
+    def test_slow_beats_baseline(self):
+        sampler = TailSampler(SamplerConfig(slow_threshold_s=1.0,
+                                            baseline_rate=1.0))
+        assert sampler.observe(5.0) == REASON_SLOW
+
+    def test_fast_path_drops_quiet_traces(self):
+        sampler = TailSampler(SamplerConfig(baseline_rate=0.0))
+        assert sampler.observe(0.1) is None
+        assert sampler.dropped == 1
+
+
+class TestBufferedPath:
+    def test_complete_uses_digest_marks(self):
+        sampler = TailSampler(SamplerConfig(slow_threshold_s=10.0))
+        sampler.begin("t1", at=0.0, scope="tenant:a")
+        sampler.mark_error("t1")
+        verdict = sampler.complete("t1", at=1.0)
+        assert verdict.kept and verdict.reason == REASON_ERROR
+        assert verdict.latency_s == pytest.approx(1.0)
+        assert verdict.scope == "tenant:a"
+        assert sampler.open_traces == 0
+
+    def test_fault_mark_sticks(self):
+        sampler = TailSampler(SamplerConfig(slow_threshold_s=10.0))
+        sampler.begin("t1", at=0.0)
+        sampler.mark_fault("t1")
+        assert sampler.complete("t1", at=0.5).reason == REASON_FAULT
+
+    def test_unknown_trace_still_accounted(self):
+        sampler = TailSampler(SamplerConfig(baseline_rate=0.0))
+        verdict = sampler.complete("ghost", at=3.0)
+        assert not verdict.kept
+        assert sampler.completed == 1
+        assert sampler.check_conservation()
+
+    def test_begin_is_idempotent(self):
+        sampler = TailSampler()
+        sampler.begin("t1", at=1.0)
+        sampler.begin("t1", at=9.0)
+        assert sampler._open["t1"].started_at == 1.0
+
+    def test_fast_path_matches_buffered_path(self):
+        """observe() and complete() agree verdict-for-verdict."""
+        config = SamplerConfig(slow_threshold_s=1.0, baseline_rate=0.3,
+                               seed=5)
+        fast, buffered = TailSampler(config), TailSampler(config)
+        cases = [(0.2, False, False), (2.0, False, False),
+                 (0.1, True, False), (0.3, False, True)] * 10
+        for i, (latency, error, fault) in enumerate(cases):
+            reason = fast.observe(latency, error=error, fault=fault)
+            if reason is not None:
+                fast.register_kept(f"t{i}", reason)
+            buffered.begin(f"t{i}", at=0.0)
+            if error:
+                buffered.mark_error(f"t{i}")
+            if fault:
+                buffered.mark_fault(f"t{i}")
+            verdict = buffered.complete(f"t{i}", at=latency)
+            assert verdict.reason == reason
+        assert fast.summary() == buffered.summary()
+
+
+class TestConservation:
+    @given(st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=5.0),
+                  st.booleans(), st.booleans()),
+        max_size=200),
+        st.integers(min_value=0, max_value=2 ** 16),
+        st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_every_trace_is_kept_or_dropped(self, cases, seed, rate):
+        sampler = TailSampler(SamplerConfig(slow_threshold_s=2.0,
+                                            baseline_rate=rate, seed=seed))
+        for i, (latency, error, fault) in enumerate(cases):
+            reason = sampler.observe(latency, error=error, fault=fault)
+            if reason is not None:
+                sampler.register_kept(f"t{i}", reason)
+        assert sampler.check_conservation()
+        assert sampler.completed == len(cases)
+        summary = sampler.summary()
+        assert summary["conserved"]
+        assert summary["kept"] + summary["dropped"] == len(cases)
+
+    def test_summary_reason_breakdown_sums_to_kept(self):
+        sampler = TailSampler(SamplerConfig(baseline_rate=0.5))
+        for i in range(100):
+            reason = sampler.observe(float(i % 4), error=(i % 7 == 0),
+                                     fault=(i % 11 == 0))
+            if reason is not None:
+                sampler.register_kept(f"t{i}", reason)
+        summary = sampler.summary()
+        assert sum(summary["kept_by_reason"].values()) == summary["kept"]
+        assert set(summary["kept_by_reason"]) == {
+            REASON_ERROR, REASON_FAULT, REASON_SLOW, REASON_BASELINE}
