@@ -28,12 +28,13 @@ import numpy as np
 from repro import units
 from repro.datagen.datasets import TableMetadata
 from repro.engine.plan import (
+    IdentityMemo,
     PhysicalPlan,
     PipelineSpec,
     ResultSink,
     ShuffleSource,
     TableSource,
-    plan_from_dict_cached,
+    plan_memo,
 )
 from repro.engine.tracing import hedge_candidates
 from repro.faas.function import FunctionContext
@@ -164,6 +165,9 @@ class CoordinatorRuntime:
     recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
     #: Monotonic execution counter; fences idempotent shuffle writes.
     epoch: int = 0
+    #: Per-runtime plan-parse memo — runtime-owned (not module-global)
+    #: so shard-parallel domains never share parse state.
+    plan_cache: IdentityMemo = field(default_factory=plan_memo)
 
 
 def make_coordinator_handler(runtime: CoordinatorRuntime):
@@ -218,7 +222,7 @@ def make_invoker_handler(runtime: CoordinatorRuntime):
 def _run_query(runtime: CoordinatorRuntime, context: FunctionContext,
                payload: dict):
     env = context.env
-    plan = plan_from_dict_cached(payload["plan"])
+    plan = runtime.plan_cache.get(payload["plan"])
     started_at = env.now
     runtime.epoch += 1
     epoch = runtime.epoch

@@ -194,29 +194,44 @@ class PhysicalPlan:
                               for p in data["pipelines"]])
 
 
-#: Memoized plan parses keyed by dict identity, mirroring the worker's
-#: pipeline-spec memo: each entry pins its keyed dict, so an id() cannot
-#: be reused while the entry is alive.
-_PLAN_CACHE: dict[int, tuple[dict, PhysicalPlan]] = {}
-_PLAN_CACHE_MAX = 64
+class IdentityMemo:
+    """Bounded parse memo keyed by dict identity.
 
+    The coordinator shares one spec dict across a stage's fragment
+    payloads (and a serving workload resubmits a tenant's plan
+    template), so a fan-out of N fragments parses the tree once instead
+    of N times. Each entry pins its keyed dict, so an ``id()`` cannot
+    be reused while the entry is alive; the identity check guards the
+    eviction window.
 
-def plan_from_dict_cached(data: dict) -> PhysicalPlan:
-    """Parse a plan dict, memoized by identity.
-
-    With :meth:`PhysicalPlan.to_dict` memoized on the sending side, a
-    replayed plan (a serving workload resubmitting a tenant's template)
-    parses once instead of once per query.
+    Instances live on the runtime objects (``CoordinatorRuntime``,
+    ``WorkerRuntime``) rather than at module scope: shard-parallel
+    domains each build their own runtimes, so domains never share — or
+    race on — parse state, and eviction in one domain cannot evict
+    another's hot entries (CONC001).
     """
-    key = id(data)  # repro-lint: disable=DET004 identity memo key, never ordered
-    hit = _PLAN_CACHE.get(key)
-    if hit is not None and hit[0] is data:
-        return hit[1]
-    plan = PhysicalPlan.from_dict(data)
-    if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
-        _PLAN_CACHE.clear()
-    _PLAN_CACHE[key] = (data, plan)
-    return plan
+
+    def __init__(self, parse, max_entries: int = 64) -> None:
+        self._parse = parse
+        self._max = max_entries
+        self._entries: dict[int, tuple[dict, object]] = {}
+
+    def get(self, data: dict):
+        """Parse ``data`` (memoized by identity)."""
+        key = id(data)  # repro-lint: disable=DET004 identity memo key, never ordered
+        hit = self._entries.get(key)
+        if hit is not None and hit[0] is data:
+            return hit[1]
+        value = self._parse(data)
+        if len(self._entries) >= self._max:
+            self._entries.clear()
+        self._entries[key] = (data, value)
+        return value
+
+
+def plan_memo() -> IdentityMemo:
+    """A fresh plan-parse memo (one per coordinator runtime)."""
+    return IdentityMemo(PhysicalPlan.from_dict, max_entries=64)
 
 
 def source_from_dict(data: dict) -> TableSource | ShuffleSource:

@@ -16,6 +16,7 @@ from repro.engine.barrier import BarrierRegistry
 from repro.engine.cost import CpuCostModel
 from repro.engine.io import IoStack
 from repro.engine.plan import (
+    IdentityMemo,
     PipelineSpec,
     ShuffleSink,
     ShuffleSource,
@@ -40,6 +41,11 @@ class WorkerRuntime:
     intermediate_service: str = "s3-standard"
     #: Shared footer/chunk decode cache; ``None`` disables caching.
     columnar_cache: ColumnarCache | None = None
+    #: Per-runtime pipeline-spec parse memo — runtime-owned (not
+    #: module-global) so shard-parallel domains never share parse state.
+    spec_cache: IdentityMemo = field(
+        default_factory=lambda: IdentityMemo(PipelineSpec.from_dict,
+                                             max_entries=128))
 
 
 @dataclass
@@ -69,29 +75,6 @@ def result_key(query_id: str, fragment: int) -> str:
     return f"results/{query_id}/part-{fragment:05d}"
 
 
-#: Memoized pipeline-spec parses keyed by dict identity. The coordinator
-#: shares one spec dict across a stage's fragment payloads, so a fan-out
-#: of N fragments parses the operator tree once instead of N times. Each
-#: entry holds a strong reference to its keyed dict, so an id() cannot
-#: be reused while the entry is alive; the identity check guards the
-#: eviction window.
-_SPEC_CACHE: dict[int, tuple[dict, PipelineSpec]] = {}
-_SPEC_CACHE_MAX = 128
-
-
-def _pipeline_spec(data: dict) -> PipelineSpec:
-    """Parse a pipeline spec dict, memoized by identity."""
-    key = id(data)  # repro-lint: disable=DET004 identity memo key, never ordered
-    hit = _SPEC_CACHE.get(key)
-    if hit is not None and hit[0] is data:
-        return hit[1]
-    spec = PipelineSpec.from_dict(data)
-    if len(_SPEC_CACHE) >= _SPEC_CACHE_MAX:
-        _SPEC_CACHE.clear()
-    _SPEC_CACHE[key] = (data, spec)
-    return spec
-
-
 def make_worker_handler(runtime: WorkerRuntime):
     """Build the worker function handler bound to ``runtime``."""
 
@@ -106,7 +89,7 @@ def _execute_fragment(runtime: WorkerRuntime, context: FunctionContext,
                       payload: dict):
     env = context.env
     query_id = payload["query_id"]
-    pipeline = _pipeline_spec(payload["pipeline"])
+    pipeline = runtime.spec_cache.get(payload["pipeline"])
     fragment = payload["fragment"]
     base_storage = runtime.storage[payload["table_service"]]
     shuffle_storage = runtime.storage[payload["intermediate_service"]]

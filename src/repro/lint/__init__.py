@@ -19,17 +19,45 @@ byte-stable JSON output):
 * **ARCH002** — canonical-JSON discipline: ``json.dump(s)`` only
   inside :mod:`repro.telemetry.export`.
 
-Findings carry ``path:line:col``, a check id, and a message; a line
-comment ``# repro-lint: disable=DET001 <reason>`` suppresses them (the
-reason is mandatory — LNT001 flags bare suppressions, LNT002 flags
-suppressions that no longer match anything). ``repro lint`` is the CLI;
-``repro lint --strict`` is the CI gate; ``repro lint --self-test``
-replays a bundled fixture of known violations so a checker can never
-silently go dead. See ``docs/static_analysis.md``.
+On top of the per-module pass sits a two-phase **whole-program
+analysis** (:mod:`repro.lint.project`): phase 1 distills every module
+into a cacheable index (symbols, imports, RNG provenance, mutation and
+resource sites, call edges); phase 2 runs :class:`ProjectChecker`\\ s
+over the stitched index:
+
+* **DET005** — RNG seed provenance: generators drawn from outside the
+  layer that constructed them; seeds derived from ``hash()``/``id()``
+  or wall clocks;
+* **CONC001** — module globals mutated from code reachable by
+  shard/sim event handlers (the shard-parallel race hazard);
+* **CONC002** — objects registered per-shard that also escape into
+  module-global registries (cross-domain aliasing);
+* **RES001** — spans/handles opened without a reaching settle call,
+  with the obligation following returned resources into callers;
+* **EXC001** — broad exception handlers that would silently mask
+  injected chaos faults.
+
+Findings carry ``path:line:col``, a check id, a severity, and a
+message; a line comment ``# repro-lint: disable=DET001 <reason>``
+suppresses them (the reason is mandatory — LNT001 flags bare
+suppressions, LNT002 flags suppressions that no longer match
+anything). ``repro lint`` is the CLI; ``repro lint --strict`` is the
+CI gate; ``repro lint --self-test`` replays a bundled fixture bundle
+of known violations so a checker can never silently go dead; ``repro
+lint --sarif`` emits SARIF 2.1.0 for CI diff annotations; ``repro
+lint --explain <ID>`` prints a checker's rationale with a bad/good
+example. Phase 1 results are cached per file SHA
+(:mod:`repro.lint.cache`), and output stays byte-identical across
+runs, discovery orders, and cache states. See
+``docs/static_analysis.md``.
 """
 
 from repro.lint.arch import CanonicalJsonChecker, LayerChecker
 from repro.lint.baseline import Baseline, diff_against_baseline
+from repro.lint.concurrency import (
+    CrossDomainAliasChecker,
+    SharedStateChecker,
+)
 from repro.lint.determinism import (
     IdentityOrderChecker,
     OrderingChecker,
@@ -40,14 +68,29 @@ from repro.lint.framework import (
     Checker,
     Finding,
     SourceModule,
+    analyze_module,
+    apply_suppressions,
     lint_modules,
     lint_paths,
     parse_suppressions,
 )
+from repro.lint.lifecycle import (
+    ResourceLifecycleChecker,
+    SwallowedExceptionChecker,
+)
+from repro.lint.project import (
+    ModuleIndexer,
+    ProjectChecker,
+    ProjectIndex,
+    build_module_index,
+    lint_bundle,
+    lint_tree,
+)
+from repro.lint.provenance import SeedProvenanceChecker
 
 
 def all_checkers() -> list[Checker]:
-    """Every shipped checker, in check-id order."""
+    """Every shipped per-module checker, in check-id order."""
     return sorted([
         WallClockChecker(),
         UnseededRandomChecker(),
@@ -55,6 +98,17 @@ def all_checkers() -> list[Checker]:
         IdentityOrderChecker(),
         LayerChecker(),
         CanonicalJsonChecker(),
+        SwallowedExceptionChecker(),
+    ], key=lambda checker: checker.id)
+
+
+def all_project_checkers() -> list[ProjectChecker]:
+    """Every shipped whole-program checker, in check-id order."""
+    return sorted([
+        SeedProvenanceChecker(),
+        SharedStateChecker(),
+        CrossDomainAliasChecker(),
+        ResourceLifecycleChecker(),
     ], key=lambda checker: checker.id)
 
 
@@ -62,16 +116,30 @@ __all__ = [
     "Baseline",
     "CanonicalJsonChecker",
     "Checker",
+    "CrossDomainAliasChecker",
     "Finding",
     "IdentityOrderChecker",
     "LayerChecker",
+    "ModuleIndexer",
     "OrderingChecker",
+    "ProjectChecker",
+    "ProjectIndex",
+    "ResourceLifecycleChecker",
+    "SeedProvenanceChecker",
+    "SharedStateChecker",
     "SourceModule",
+    "SwallowedExceptionChecker",
     "UnseededRandomChecker",
     "WallClockChecker",
     "all_checkers",
+    "all_project_checkers",
+    "analyze_module",
+    "apply_suppressions",
+    "build_module_index",
     "diff_against_baseline",
+    "lint_bundle",
     "lint_modules",
     "lint_paths",
+    "lint_tree",
     "parse_suppressions",
 ]

@@ -80,6 +80,15 @@ class LayerChecker(Checker):
 
     id = "ARCH001"
     title = "layering contract"
+    rationale = (
+        "Imports may only point at the same or a lower layer of the "
+        "declared DAG (repro.lint.layer_dag). An upward import turns "
+        "the layering into a suggestion and eventually into an import "
+        "cycle.")
+    example_bad = ("# in repro/sim/kernel.py (sim layer)\n"
+                   "from repro.engine.plan import PhysicalPlan")
+    example_good = ("# in repro/engine/plan.py (engine layer)\n"
+                    "from repro.sim import Environment")
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
         if module.module is None or not (
@@ -118,6 +127,13 @@ class CanonicalJsonChecker(Checker):
 
     id = "ARCH002"
     title = "canonical-JSON discipline"
+    rationale = (
+        "Committed artifacts must be byte-stable so golden-file diffs "
+        "mean something. Raw json.dump(s) floats key order and "
+        "formatting; every artifact goes through "
+        "repro.telemetry.export.canonical_json.")
+    example_bad = "report.write_text(json.dumps(payload))"
+    example_good = "report.write_text(canonical_json(payload))"
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
         if module.module == CANONICAL_WRITER:

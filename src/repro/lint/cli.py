@@ -2,27 +2,47 @@
 
 Modes:
 
-* default — lint the tree, print findings (baseline-accepted ones are
-  tagged), always exit 0 (informational);
+* default — lint the tree (both phases, through the incremental
+  cache), print findings (baseline-accepted ones are tagged), always
+  exit 0 (informational);
 * ``--strict`` — the CI gate: exit 1 on any finding not covered by the
   baseline, on any stale baseline entry, and on framework findings
   (LNT001/LNT002), so the accepted-debt set can only shrink;
-* ``--self-test`` — run every checker against the bundled
-  known-violations fixture and fail on any drift;
+* ``--sarif`` — emit the SARIF 2.1.0 log (CI uploads it so findings
+  annotate the PR diff);
+* ``--self-test`` — run every checker against the bundled fixture
+  bundle and fail on any drift;
+* ``--explain CHECK_ID`` — a checker's rationale and a bad/good pair,
+  for review discussions and suppression reasons;
 * ``--update-baseline`` — accept the current findings as debt;
 * ``--list-checks`` — print the checker catalog.
 
-Output is human text or (``--json``) canonical JSON — two runs over
-the same tree are byte-identical.
+``--no-cache`` forces a cold run (CI uses it so the recorded time
+budget measures the analysis, not the cache); ``--max-seconds`` turns
+the run's wall time into a gate so the incremental cache's value is
+itself regression-tested.
+
+Output is human text or (``--json`` / ``--sarif``) canonical JSON —
+two runs over the same tree are byte-identical, whatever the cache
+state.
 """
 
 from __future__ import annotations
 
 import sys
+import time
 from pathlib import Path
 
-from repro.lint import all_checkers, diff_against_baseline, lint_paths
+from repro.lint import (
+    all_checkers,
+    all_project_checkers,
+    diff_against_baseline,
+    lint_tree,
+)
 from repro.lint.baseline import Baseline
+from repro.lint.cache import LintCache
+from repro.lint.framework import Checker
+from repro.lint.sarif import sarif_report
 from repro.telemetry.export import canonical_json
 
 #: Default lint roots (relative to the repo root, where CI runs).
@@ -30,6 +50,41 @@ DEFAULT_PATHS = ("src/repro",)
 
 #: Default committed baseline location.
 DEFAULT_BASELINE = "lint-baseline.json"
+
+#: Default incremental-cache location (gitignored scratch).
+DEFAULT_CACHE = ".repro-lint-cache.json"
+
+#: LNT001/LNT002 pseudo-checkers for --list-checks / --explain / SARIF.
+_LNT_DOCS = {
+    "LNT001": ("suppression missing a reason",
+               "Suppressions are reviewed debt; the reason is the "
+               "review. A bare disable comment hides a finding with "
+               "no trace of why that was acceptable.",
+               "x = time.time()  # repro-lint: disable=DET001",
+               "x = time.time()  # repro-lint: disable=DET001 host "
+               "profiling only, not simulated time"),
+    "LNT002": ("suppression matching no finding",
+               "A suppression that outlives the finding it silenced "
+               "will silently swallow the next, unrelated finding on "
+               "that line.",
+               "return 0  # repro-lint: disable=DET001 removed call",
+               "return 0"),
+}
+
+
+def _lnt_checkers() -> list[Checker]:
+    checkers = []
+    for check_id, (title, rationale, bad, good) in sorted(
+            _LNT_DOCS.items()):
+        checker = Checker()
+        checker.id = check_id
+        checker.title = title
+        checker.severity = "note"
+        checker.rationale = rationale
+        checker.example_bad = bad
+        checker.example_good = good
+        checkers.append(checker)
+    return checkers
 
 
 def add_lint_arguments(parser) -> None:
@@ -42,6 +97,9 @@ def add_lint_arguments(parser) -> None:
                              "baseline entries, or suppression misuse")
     parser.add_argument("--json", action="store_true",
                         help="emit the canonical JSON report")
+    parser.add_argument("--sarif", action="store_true",
+                        help="emit the SARIF 2.1.0 log (for CI diff "
+                             "annotations)")
     parser.add_argument("--baseline", default=DEFAULT_BASELINE,
                         help="baseline file of accepted findings "
                              f"(default: {DEFAULT_BASELINE})")
@@ -50,25 +108,72 @@ def add_lint_arguments(parser) -> None:
                              "current finding")
     parser.add_argument("--self-test", action="store_true",
                         help="run all checkers against the bundled "
-                             "fixture of known violations")
+                             "fixtures of known violations")
     parser.add_argument("--list-checks", action="store_true",
                         help="list the available checks and exit")
+    parser.add_argument("--explain", metavar="CHECK_ID",
+                        help="print one checker's rationale and a "
+                             "bad/good example, then exit")
+    parser.add_argument("--cache", default=DEFAULT_CACHE,
+                        help="incremental cache file keyed by file SHA "
+                             f"(default: {DEFAULT_CACHE})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the incremental "
+                             "cache (cold run)")
+    parser.add_argument("--max-seconds", type=float, default=None,
+                        help="fail if the lint run's wall time exceeds "
+                             "this budget (guards analysis cost)")
+
+
+def _explain(check_id: str) -> int:
+    catalog = {checker.id: checker
+               for checker in (all_checkers() + all_project_checkers()
+                               + _lnt_checkers())}
+    checker = catalog.get(check_id)
+    if checker is None:
+        print(f"repro lint: error: unknown check '{check_id}'; see "
+              f"--list-checks", file=sys.stderr)
+        return 2
+    doc = (type(checker).__doc__ or "").strip() \
+        if type(checker) is not Checker else ""
+    lines = [f"{checker.id} — {checker.title} [{checker.severity}]"]
+    if doc:
+        lines += ["", doc]
+    if checker.rationale:
+        lines += ["", "Why:", f"  {checker.rationale}"]
+    if checker.example_bad:
+        lines += ["", "Bad:"] + [f"  {line}" for line
+                                 in checker.example_bad.splitlines()]
+    if checker.example_good:
+        lines += ["", "Good:"] + [f"  {line}" for line
+                                  in checker.example_good.splitlines()]
+    lines += ["", f"Suppress with: # repro-lint: disable={checker.id} "
+                  f"<reason> (the reason is mandatory)"]
+    print("\n".join(lines))
+    return 0
 
 
 def run_lint(args) -> int:
     """Execute ``repro lint``; returns the process exit code."""
+    started = time.perf_counter()  # repro-lint: disable=DET001 gates the linter's own wall time, never simulated time
     if args.self_test:
         from repro.lint.selftest import run_self_test
         ok, lines = run_self_test()
         print("\n".join(lines), file=sys.stdout if ok else sys.stderr)
         return 0 if ok else 1
+    if args.explain:
+        return _explain(args.explain)
 
     checkers = all_checkers()
+    project_checkers = all_project_checkers()
     if args.list_checks:
-        for checker in checkers:
-            print(f"{checker.id}  {checker.title}")
-        print("LNT001  suppression missing a reason")
-        print("LNT002  suppression matching no finding")
+        for checker in sorted(checkers + project_checkers,
+                              key=lambda c: c.id):
+            kind = "project" if checker in project_checkers else "module"
+            print(f"{checker.id}  {checker.title} "
+                  f"[{checker.severity}, {kind}]")
+        for check_id, (title, _, _, _) in sorted(_LNT_DOCS.items()):
+            print(f"{check_id}  {title} [note, framework]")
         return 0
 
     paths = [Path(p) for p in args.paths]
@@ -77,7 +182,10 @@ def run_lint(args) -> int:
         print(f"repro lint: error: no such path: "
               f"{', '.join(str(p) for p in missing)}", file=sys.stderr)
         return 2
-    findings = lint_paths(paths, checkers)
+    cache = None if args.no_cache else LintCache(Path(args.cache))
+    findings = lint_tree(paths, checkers, project_checkers, cache=cache)
+    if cache is not None:
+        cache.save()
 
     baseline_path = Path(args.baseline)
     if args.update_baseline:
@@ -90,7 +198,12 @@ def run_lint(args) -> int:
     new, accepted, stale = diff_against_baseline(findings, baseline)
     lnt = [f for f in new if f.check.startswith("LNT")]
 
-    if args.json:
+    if args.sarif:
+        print(canonical_json(sarif_report(
+            sorted(findings, key=lambda f: f.sort_key),
+            checkers + project_checkers + _lnt_checkers(),
+            baselined=accepted)))
+    elif args.json:
         print(canonical_json({
             "findings": [dict(f.to_dict(), baselined=f in accepted)
                          for f in sorted(findings,
@@ -111,6 +224,14 @@ def run_lint(args) -> int:
         print(f"repro lint: {len(new)} new, {len(accepted)} baselined, "
               f"{len(stale)} stale baseline entr"
               f"{'y' if len(stale) == 1 else 'ies'}")
+
+    if args.max_seconds is not None:
+        elapsed = time.perf_counter() - started  # repro-lint: disable=DET001 gates the linter's own wall time, never simulated time
+        if elapsed > args.max_seconds:
+            print(f"repro lint: time budget exceeded: {elapsed:.2f}s > "
+                  f"{args.max_seconds:.2f}s (is the incremental cache "
+                  f"or the analysis regressing?)", file=sys.stderr)
+            return 1
 
     if args.strict and (new or stale or lnt):
         return 1

@@ -72,6 +72,13 @@ class WallClockChecker(Checker):
 
     id = "DET001"
     title = "wall-clock ban"
+    rationale = (
+        "The simulation runs on a virtual clock; a host wall-clock "
+        "read smuggles real time into results, so two runs of the "
+        "'same' experiment diverge and the golden traces stop "
+        "replaying.")
+    example_bad = "started = time.time()"
+    example_good = "started = env.now"
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
         aliases = import_aliases(module.tree)
@@ -105,6 +112,13 @@ class UnseededRandomChecker(Checker):
 
     id = "DET002"
     title = "unseeded randomness"
+    rationale = (
+        "Module-level RNG state (random.*, np.random.*) is process "
+        "global and unseeded: results change run to run and any "
+        "import-order change perturbs every downstream draw. All "
+        "randomness flows from seeded, named streams.")
+    example_bad = "jitter = random.random()"
+    example_good = "jitter = sim.rng.stream('faas.cold_start').random()"
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
         if module.module == RNG_HOME:
@@ -204,6 +218,13 @@ class OrderingChecker(Checker):
 
     id = "DET003"
     title = "set iteration order"
+    rationale = (
+        "Set iteration order depends on insertion history and hash "
+        "salting; iterating one unsorted feeds arbitrary order into "
+        "schedules, digests, and reports. sorted(...) makes the order "
+        "part of the program, not the interpreter.")
+    example_bad = "for key in pending:  # pending is a set"
+    example_good = "for key in sorted(pending):"
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
         scopes = [module.tree] + [
@@ -249,6 +270,14 @@ class IdentityOrderChecker(Checker):
 
     id = "DET004"
     title = "id()-based ordering"
+    rationale = (
+        "id() is an allocation address: unique within a run, "
+        "arbitrary across runs. Keying or ordering by it bakes the "
+        "allocator's mood into the output. Identity-keyed *memos* are "
+        "fine (suppress with a reason); identity-keyed *order* never "
+        "is.")
+    example_bad = "items.sort(key=id)"
+    example_good = "items.sort(key=lambda item: item.name)"
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
         for node in ast.walk(module.tree):

@@ -6,6 +6,13 @@ parsed AST) and yields :class:`Finding` rows. The runner applies the
 the suppressions themselves (LNT001 missing reason, LNT002 unused), and
 returns findings in a canonical order so two runs over the same tree
 are byte-identical.
+
+Whole-program (two-phase) analysis lives in :mod:`repro.lint.project`;
+this module deliberately knows nothing about it beyond the split
+between *producing* raw findings (:func:`analyze_module`) and
+*finishing* them (:func:`apply_suppressions`), which the project runner
+reuses so per-module and cross-module findings share one suppression
+and ordering pipeline.
 """
 
 from __future__ import annotations
@@ -27,6 +34,12 @@ _SUPPRESSION_RE = re.compile(
 LNT_MISSING_REASON = "LNT001"
 LNT_UNUSED = "LNT002"
 
+#: Finding severities, in SARIF vocabulary. ``error`` findings break
+#: determinism or the architecture outright; ``warning`` findings are
+#: hazards for planned work (shard-parallel domains, chaos coverage);
+#: ``note`` is framework self-audit.
+SEVERITIES = ("error", "warning", "note")
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -37,6 +50,7 @@ class Finding:
     col: int
     check: str
     message: str
+    severity: str = "error"
 
     @property
     def sort_key(self) -> tuple:
@@ -47,7 +61,14 @@ class Finding:
 
     def to_dict(self) -> dict:
         return {"path": self.path, "line": self.line, "col": self.col,
-                "check": self.check, "message": self.message}
+                "check": self.check, "message": self.message,
+                "severity": self.severity}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(path=data["path"], line=data["line"], col=data["col"],
+                   check=data["check"], message=data["message"],
+                   severity=data.get("severity", "error"))
 
 
 @dataclass
@@ -61,6 +82,16 @@ class Suppression:
 
     def covers(self, check: str) -> bool:
         return check in self.checks or "all" in self.checks
+
+    def to_dict(self) -> dict:
+        """Cacheable form (the transient ``used`` flag is not stored)."""
+        return {"line": self.line, "checks": list(self.checks),
+                "reason": self.reason}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Suppression":
+        return cls(line=data["line"], checks=tuple(data["checks"]),
+                   reason=data["reason"])
 
 
 def parse_suppressions(source: str) -> dict[int, Suppression]:
@@ -123,18 +154,28 @@ class SourceModule:
         return cls(display_path or path.as_posix(),
                    path.read_text(encoding="utf-8"))
 
-    def finding(self, node: ast.AST, check: str, message: str) -> Finding:
+    def finding(self, node: ast.AST, check: str, message: str,
+                severity: str = "error") -> Finding:
         """Convenience constructor anchored at an AST node."""
         return Finding(path=self.path, line=getattr(node, "lineno", 1),
                        col=getattr(node, "col_offset", 0) + 1,
-                       check=check, message=message)
+                       check=check, message=message, severity=severity)
 
 
 class Checker:
-    """Base class: subclasses set ``id``/``title`` and yield findings."""
+    """Base class: subclasses set ``id``/``title`` and yield findings.
+
+    ``severity`` is the default level of every finding the checker
+    emits; ``rationale`` / ``example_bad`` / ``example_good`` feed
+    ``repro lint --explain <ID>`` and the SARIF rule catalog.
+    """
 
     id: str = "LNT000"
     title: str = ""
+    severity: str = "error"
+    rationale: str = ""
+    example_bad: str = ""
+    example_good: str = ""
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
         raise NotImplementedError
@@ -143,38 +184,67 @@ class Checker:
         return f"<{type(self).__name__} {self.id}>"
 
 
-def _audit_suppressions(module: SourceModule) -> Iterator[Finding]:
-    """LNT001/LNT002: suppressions must carry a reason and earn their keep."""
-    for lineno in sorted(module.suppressions):
-        suppression = module.suppressions[lineno]
-        if not suppression.reason:
-            yield Finding(path=module.path, line=lineno, col=1,
-                          check=LNT_MISSING_REASON,
-                          message="suppression comment has no reason; write "
-                                  "'# repro-lint: disable=<IDS> <why>'")
-        if not suppression.used:
-            ids = ",".join(suppression.checks)
-            yield Finding(path=module.path, line=lineno, col=1,
-                          check=LNT_UNUSED,
-                          message=f"suppression 'disable={ids}' matches no "
-                                  f"finding on this line; remove it")
+def analyze_module(module: SourceModule,
+                   checkers: Iterable[Checker]) -> list[Finding]:
+    """Raw per-module findings, *before* suppression filtering.
+
+    The raw list is what the incremental cache stores: suppression
+    state is recomputed on every run (an edit elsewhere never changes
+    it), so caching pre-suppression keeps cached and fresh runs
+    byte-identical.
+    """
+    checkers = sorted(checkers, key=lambda c: c.id)
+    return [finding for checker in checkers
+            for finding in checker.check(module)]
+
+
+def apply_suppressions(
+        raw_findings: Iterable[Finding],
+        suppressions_by_path: dict[str, dict[int, Suppression]],
+) -> list[Finding]:
+    """Filter raw findings through suppressions; audit; canonical sort.
+
+    This is the single finishing pipeline for per-module *and*
+    whole-program findings — a ``# repro-lint: disable=CONC001 ...``
+    comment silences a cross-module finding anchored on its line
+    exactly like a local one.
+    """
+    kept: list[Finding] = []
+    for finding in sorted(raw_findings, key=lambda f: f.sort_key):
+        suppression = suppressions_by_path.get(
+            finding.path, {}).get(finding.line)
+        if suppression is not None and suppression.covers(finding.check):
+            suppression.used = True
+            continue
+        kept.append(finding)
+    for path in sorted(suppressions_by_path):
+        suppressions = suppressions_by_path[path]
+        for lineno in sorted(suppressions):
+            suppression = suppressions[lineno]
+            if not suppression.reason:
+                kept.append(Finding(
+                    path=path, line=lineno, col=1,
+                    check=LNT_MISSING_REASON, severity="note",
+                    message="suppression comment has no reason; write "
+                            "'# repro-lint: disable=<IDS> <why>'"))
+            if not suppression.used:
+                ids = ",".join(suppression.checks)
+                kept.append(Finding(
+                    path=path, line=lineno, col=1,
+                    check=LNT_UNUSED, severity="note",
+                    message=f"suppression 'disable={ids}' matches no "
+                            f"finding on this line; remove it"))
+    return sorted(kept, key=lambda f: f.sort_key)
 
 
 def lint_modules(modules: Iterable[SourceModule],
                  checkers: Iterable[Checker]) -> list[Finding]:
     """Run every checker over every module; apply suppressions; sort."""
-    checkers = sorted(checkers, key=lambda c: c.id)
-    findings: list[Finding] = []
-    for module in modules:
-        for checker in checkers:
-            for finding in checker.check(module):
-                suppression = module.suppressions.get(finding.line)
-                if suppression is not None and suppression.covers(finding.check):
-                    suppression.used = True
-                    continue
-                findings.append(finding)
-        findings.extend(_audit_suppressions(module))
-    return sorted(findings, key=lambda f: f.sort_key)
+    modules = list(modules)
+    raw = [finding for module in modules
+           for finding in analyze_module(module, checkers)]
+    return apply_suppressions(
+        raw, {module.path: module.suppressions for module in modules})
 
 
 def iter_python_files(paths: Iterable[Path]) -> list[Path]:

@@ -1,0 +1,194 @@
+"""RES001/EXC001 — resource lifecycle and swallowed-fault checkers.
+
+RES001 tracks open/settle obligations for the protocols in
+:data:`repro.lint.project.RESOURCE_PROTOCOLS` (spans must be
+``finish()``-ed, acquisitions released, handles closed/drained). The
+analysis is whole-program where it matters: a function that *returns*
+a still-open resource hands the obligation to its caller, propagated
+to a fixpoint over the bound-call graph, so a span opened in a helper
+and leaked three callers up is still one file:line finding.
+
+The path model is deliberately an approximation (this is a linter, not
+a verifier): an obligation is satisfied by any settle call on the
+bound name, *unless* every settle site sits inside an ``except``
+handler — settled-only-on-the-error-path is the leak pattern that
+produced unfinished spans in real traces. Escapes discharge the local
+obligation: a resource returned, yielded, stored into a structure, or
+passed to another call has a new owner.
+
+EXC001 flags broad exception handlers (bare ``except`` / ``Exception``
+/ ``BaseException``) whose body neither re-raises nor does any work.
+Chaos plans (:mod:`repro.chaos`) prove recovery by *injecting* faults;
+a handler that silently swallows everything also swallows the
+injection, and the resilience report claims a recovery that never ran.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import Checker, Finding, SourceModule
+from repro.lint.project import (
+    RESOURCE_PROTOCOLS,
+    ProjectChecker,
+    ProjectIndex,
+)
+
+
+class ResourceLifecycleChecker(ProjectChecker):
+    """RES001 — opened spans/handles with no reaching settle call."""
+
+    id = "RES001"
+    title = "resource lifecycle"
+    severity = "warning"
+    rationale = (
+        "A span opened and never finished stays open forever: trace "
+        "exports show zero-duration spans, SLO attribution loses the "
+        "tail it most needs, and the flight recorder retains garbage. "
+        "The same goes for unreleased acquisitions and undrained "
+        "handles. The obligation follows the object: a function that "
+        "returns an open resource passes the duty to close it to its "
+        "caller.")
+    example_bad = (
+        "def handle(recorder, env):\n"
+        "    span = recorder.start_span('work', env.now)\n"
+        "    do_work()\n"
+        "    # span never finished — leaks into every trace export\n")
+    example_good = (
+        "def handle(recorder, env):\n"
+        "    span = recorder.start_span('work', env.now)\n"
+        "    try:\n"
+        "        do_work()\n"
+        "    finally:\n"
+        "        span.finish(env.now)\n")
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        for name in sorted(index.modules):
+            if ProjectIndex._is_resource_home(name):
+                continue
+            module_index = index.modules[name]
+            functions = module_index["functions"]
+            for qualname in sorted(functions):
+                yield from self._check_function(
+                    index, module_index, name, qualname,
+                    functions[qualname])
+
+    def _check_function(self, index: ProjectIndex, module_index: dict,
+                        module: str, qualname: str, fn: dict
+                        ) -> Iterator[Finding]:
+        obligations = [(site, f"{site['method']}() resource")
+                       for site in fn["opens"]]
+        for call in fn["bound_calls"]:
+            if call["target"] in index.returns_open:
+                obligations.append(
+                    (call, f"open resource returned by "
+                           f"{call['target'].rsplit('.', 1)[-1]}()"))
+        for site, what in obligations:
+            name = site["name"]
+            if name in fn["with_names"]:
+                continue  # context manager settles it
+            if name in fn["returned"]:
+                continue  # obligation moves to the caller (fixpoint)
+            if name in fn["stored"]:
+                continue  # escaped: stored or passed on — new owner
+            closes = fn["closes"].get(name)
+            if not closes:
+                method = site.get("method")
+                closers = " / ".join(RESOURCE_PROTOCOLS.get(
+                    method, ("finish", "close", "release")))
+                yield self.finding(
+                    module_index, site,
+                    f"'{name}' holds a {what} in '{qualname}' but no "
+                    f"path settles it ({closers}); close it in a "
+                    f"finally block or hand it off explicitly")
+            elif closes == ["except"]:
+                yield self.finding(
+                    module_index, site,
+                    f"'{name}' ({what} in '{qualname}') is settled "
+                    f"only inside an except handler — the success "
+                    f"path leaks it; settle in a finally block "
+                    f"instead")
+
+
+#: Exception names too broad to swallow silently.
+BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler: ast.ExceptHandler,
+              aliases: dict[str, str]) -> bool:
+    """Whether the handler catches (at least) every ordinary exception."""
+    if handler.type is None:
+        return True  # bare except
+    types = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+             else [handler.type])
+    for node in types:
+        if isinstance(node, ast.Name) and node.id in BROAD_EXCEPTIONS:
+            return True
+        if isinstance(node, ast.Attribute) \
+                and node.attr in BROAD_EXCEPTIONS:
+            return True
+    return False
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body does nothing with the exception.
+
+    Any raise, call, assignment, return-of-a-value, or control flow
+    that *uses* the exception counts as handling; ``pass``,
+    ``continue``, ``...``, and bare ``return`` do not.
+    """
+    for statement in handler.body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Continue):
+            continue
+        if isinstance(statement, ast.Return) and statement.value is None:
+            continue
+        if isinstance(statement, ast.Expr) \
+                and isinstance(statement.value, ast.Constant):
+            continue  # docstring / `...`
+        return False
+    return True
+
+
+class SwallowedExceptionChecker(Checker):
+    """EXC001 — broad handlers that silently discard the exception."""
+
+    id = "EXC001"
+    title = "swallowed exceptions"
+    severity = "warning"
+    rationale = (
+        "Chaos engineering proves fault tolerance by injecting faults "
+        "and asserting recovery. `except Exception: pass` masks the "
+        "injected fault along with the real ones: the run looks green, "
+        "the resilience report credits a recovery that never executed, "
+        "and the paper-facing claim is wrong. Catch the specific "
+        "exception the code can actually handle, or at minimum record "
+        "the fault before suppressing it.")
+    example_bad = (
+        "try:\n"
+        "    yield from storage.get(key)\n"
+        "except Exception:\n"
+        "    pass   # chaos S3 storm vanishes here\n")
+    example_good = (
+        "try:\n"
+        "    yield from storage.get(key)\n"
+        "except ThrottleError:       # the one fault we re-queue\n"
+        "    self.requeue(key)\n")
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        from repro.lint.determinism import import_aliases
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad(node, aliases) and _swallows(node):
+                caught = ("bare except" if node.type is None
+                          else ast.unparse(node.type))
+                yield module.finding(
+                    node, self.id,
+                    f"broad handler ({caught}) silently swallows the "
+                    f"exception — injected chaos faults would be "
+                    f"masked; catch the specific exception or record "
+                    f"it before suppressing", severity=self.severity)

@@ -1,0 +1,106 @@
+"""SARIF 2.1.0 export: lint findings as CI diff annotations.
+
+GitHub (and every other SARIF consumer) renders a SARIF run as inline
+annotations on the PR diff, so a DET005 cross-layer draw shows up on
+the offending line of the review instead of in a job log. One run, one
+tool (``repro-lint``), one result per finding; rule metadata is built
+from the checker catalog so ``--explain`` text and hover-help stay a
+single source of truth.
+
+The report is serialized through
+:func:`repro.telemetry.export.canonical_json` and the results arrive
+pre-sorted in the findings' canonical order, so two runs over the same
+tree emit byte-identical SARIF — the same determinism contract as the
+text and ``--json`` outputs, property-tested alongside them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.framework import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+#: Finding severity -> SARIF result level.
+LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def _rule(checker) -> dict:
+    """SARIF reportingDescriptor for one checker."""
+    text = (checker.__doc__ or checker.title or checker.id).strip()
+    short = text.splitlines()[0]
+    rule = {
+        "id": checker.id,
+        "name": type(checker).__name__,
+        "shortDescription": {"text": short},
+        "defaultConfiguration": {
+            "level": LEVELS.get(checker.severity, "warning")},
+    }
+    if checker.rationale:
+        rule["fullDescription"] = {"text": checker.rationale}
+    help_parts = []
+    if checker.example_bad:
+        help_parts.append("Bad:\n" + checker.example_bad)
+    if checker.example_good:
+        help_parts.append("Good:\n" + checker.example_good)
+    if help_parts:
+        rule["help"] = {"text": "\n".join(help_parts)}
+    return rule
+
+
+def _result(finding: Finding, rule_index: dict[str, int],
+            baselined: bool) -> dict:
+    result = {
+        "ruleId": finding.check,
+        "level": LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path,
+                                     "uriBaseId": "SRCROOT"},
+                "region": {"startLine": finding.line,
+                           "startColumn": finding.col},
+            },
+        }],
+    }
+    if finding.check in rule_index:
+        result["ruleIndex"] = rule_index[finding.check]
+    if baselined:
+        # Accepted debt: present in the report, suppressed in review.
+        result["suppressions"] = [{"kind": "external",
+                                   "justification": "lint-baseline.json"}]
+    return result
+
+
+def sarif_report(findings: Iterable[Finding], checkers: Iterable,
+                 baselined: Iterable[Finding] = ()) -> dict:
+    """The complete SARIF 2.1.0 log for one lint run.
+
+    ``checkers`` supplies the rule catalog (module and project checkers
+    alike — both expose ``id``/``severity``/``rationale``); findings
+    already carry the canonical order from the runner.
+    """
+    rules = sorted((_rule(checker) for checker in checkers),
+                   key=lambda rule: rule["id"])
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    baselined = set(baselined)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "rules": rules,
+                },
+            },
+            "columnKind": "unicodeCodePoints",
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///./"}},
+            "results": [_result(finding, rule_index,
+                                finding in baselined)
+                        for finding in findings],
+        }],
+    }

@@ -221,9 +221,27 @@ class TestCli:
     def test_list_checks(self, tree, capsys):
         assert main(["lint", "--list-checks"]) == 0
         out = capsys.readouterr().out
-        for check in ["DET001", "DET002", "DET003", "DET004",
+        for check in ["DET001", "DET002", "DET003", "DET004", "DET005",
+                      "CONC001", "CONC002", "RES001", "EXC001",
                       "ARCH001", "ARCH002", "LNT001", "LNT002"]:
             assert check in out
+
+    @pytest.mark.parametrize("check_id", [
+        "DET001", "DET005", "CONC001", "CONC002", "RES001", "EXC001",
+        "ARCH001", "LNT001",
+    ])
+    def test_explain_prints_rationale_and_examples(self, tree, capsys,
+                                                   check_id):
+        assert main(["lint", "--explain", check_id]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith(check_id)
+        assert "Why:" in out
+        assert "Bad:" in out and "Good:" in out
+        assert f"disable={check_id}" in out
+
+    def test_explain_unknown_check_exit_two(self, tree, capsys):
+        assert main(["lint", "--explain", "NOPE999"]) == 2
+        assert "unknown check" in capsys.readouterr().err
 
     def test_json_output_byte_identical_across_runs(self, tree, capsys):
         (tree / "src/repro/faas/dirty.py").write_text(DIRTY)

@@ -1,0 +1,389 @@
+"""Whole-program lint: project index, the five new checkers, and the
+byte-determinism property over bundle orderings."""
+
+import textwrap
+from pathlib import Path
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lint import (
+    all_checkers,
+    all_project_checkers,
+    lint_bundle,
+)
+from repro.lint.concurrency import (
+    CrossDomainAliasChecker,
+    SharedStateChecker,
+)
+from repro.lint.framework import SourceModule
+from repro.lint.lifecycle import (
+    ResourceLifecycleChecker,
+    SwallowedExceptionChecker,
+)
+from repro.lint.project import ProjectIndex, build_module_index
+from repro.lint.provenance import SeedProvenanceChecker
+from repro.lint.selftest import FIXTURES, fixture_path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def mod(module, source):
+    return SourceModule(path=f"<t:{module}>",
+                        source=textwrap.dedent(source), module=module)
+
+
+def checks(findings):
+    return [f.check for f in findings]
+
+
+class TestProjectIndex:
+    def test_import_graph_and_reachability(self):
+        bundle = [
+            mod("repro.sim.root", "import repro.formats.leaf\n"),
+            mod("repro.formats.leaf", "X = 1\n"),
+            mod("repro.formats.island", "Y = 2\n"),
+        ]
+        index = ProjectIndex([build_module_index(m) for m in bundle])
+        assert "repro.sim.root" in index.domain_reachable
+        assert "repro.formats.leaf" in index.domain_reachable
+        assert "repro.formats.island" not in index.domain_reachable
+
+    def test_importing_a_domain_package_makes_a_root(self):
+        bundle = [
+            mod("repro.serve.gw", "import repro.shard\n"
+                                  "import repro.formats.leaf\n"),
+            mod("repro.formats.leaf", "X = 1\n"),
+        ]
+        index = ProjectIndex([build_module_index(m) for m in bundle])
+        assert "repro.serve.gw" in index.domain_reachable
+        assert "repro.formats.leaf" in index.domain_reachable
+
+
+class TestSeedProvenance:
+    OWNER = """\
+        import numpy as np
+        GEN = np.random.default_rng(7)
+    """
+
+    def test_cross_layer_draw_flagged(self):
+        bundle = [
+            mod("repro.sim.owner_mod", self.OWNER),
+            mod("repro.engine.drawer", """\
+                from repro.sim.owner_mod import GEN
+
+                def f():
+                    return GEN.random()
+            """),
+        ]
+        findings = lint_bundle(bundle, [], [SeedProvenanceChecker()])
+        assert checks(findings) == ["DET005"]
+        assert findings[0].path == "<t:repro.engine.drawer>"
+        assert "repro.sim.owner_mod" in findings[0].message
+
+    def test_same_layer_draw_ok(self):
+        bundle = [
+            mod("repro.sim.owner_mod", self.OWNER),
+            mod("repro.sim.peer", """\
+                from repro.sim.owner_mod import GEN
+
+                def f():
+                    return GEN.random()
+            """),
+        ]
+        assert lint_bundle(bundle, [], [SeedProvenanceChecker()]) == []
+
+    def test_unstable_seed_flagged(self):
+        bundle = [mod("repro.sim.seeds", """\
+            import numpy as np
+            import random
+
+            def f(x, name):
+                a = np.random.default_rng(id(x))
+                b = random.Random(hash(name))
+                c = np.random.default_rng(7)
+                return a, b, c
+        """)]
+        findings = lint_bundle(bundle, [], [SeedProvenanceChecker()])
+        assert checks(findings) == ["DET005", "DET005"]
+        assert "id()" in findings[0].message
+        assert "hash()" in findings[1].message
+
+
+class TestSharedState:
+    MUTATOR = """\
+        REG = {}
+        MODE = "idle"
+
+        def put(k, v):
+            REG[k] = v
+
+        def set_mode(m):
+            global MODE
+            MODE = m
+    """
+
+    def test_domain_reachable_mutations_flagged(self):
+        findings = lint_bundle([mod("repro.sim.state", self.MUTATOR)],
+                               [], [SharedStateChecker()])
+        assert checks(findings) == ["CONC001", "CONC001"]
+        assert "mutated in place" in findings[0].message
+        assert "rebound" in findings[1].message
+
+    def test_unreachable_module_ok(self):
+        # Nothing imports it and it is outside the domain packages.
+        findings = lint_bundle([mod("repro.formats.state", self.MUTATOR)],
+                               [], [SharedStateChecker()])
+        assert findings == []
+
+    def test_suppression_covers_project_findings(self):
+        src = ("REG = {}\n"
+               "\n"
+               "def put(k, v):\n"
+               "    REG[k] = v"
+               "  # repro-lint: disable=CONC001 import-time only\n")
+        findings = lint_bundle(
+            [SourceModule(path="<t:sup>", source=src,
+                          module="repro.sim.sup")],
+            [], [SharedStateChecker()])
+        # Suppressed with a reason: no CONC001, no LNT001/LNT002.
+        assert findings == []
+
+
+class TestCrossDomainAlias:
+    def test_per_shard_object_escaping_to_global_flagged(self):
+        findings = lint_bundle([mod("repro.sim.alias", """\
+            REG = {}
+
+            class ShardState:
+                def __init__(self):
+                    self._m = {}
+
+                def admit(self, t):
+                    self._m[t] = t
+                    REG[t] = t
+        """)], [], [CrossDomainAliasChecker()])
+        assert checks(findings) == ["CONC002"]
+        assert "'t'" in findings[0].message
+
+    def test_instance_only_storage_ok(self):
+        findings = lint_bundle([mod("repro.sim.alias_ok", """\
+            class ShardState:
+                def __init__(self):
+                    self._m = {}
+
+                def admit(self, t):
+                    self._m[t] = t
+        """)], [], [CrossDomainAliasChecker()])
+        assert findings == []
+
+
+class TestResourceLifecycle:
+    def test_leaked_span_flagged(self):
+        findings = lint_bundle([mod("repro.sim.spans", """\
+            def leak(rec, env):
+                s = rec.start_span("w", env.now)
+                return 1
+        """)], [], [ResourceLifecycleChecker()])
+        assert checks(findings) == ["RES001"]
+        assert "no path settles it" in findings[0].message
+
+    def test_finally_settles(self):
+        findings = lint_bundle([mod("repro.sim.spans_ok", """\
+            def tidy(rec, env, step):
+                s = rec.start_span("w", env.now)
+                try:
+                    step()
+                finally:
+                    s.finish(env.now)
+                return 1
+        """)], [], [ResourceLifecycleChecker()])
+        assert findings == []
+
+    def test_except_only_settle_flagged(self):
+        findings = lint_bundle([mod("repro.sim.spans_err", """\
+            def error_path(rec, env, step):
+                s = rec.start_span("w", env.now)
+                try:
+                    step()
+                except RuntimeError:
+                    s.finish(env.now)
+                    raise
+                return 1
+        """)], [], [ResourceLifecycleChecker()])
+        assert checks(findings) == ["RES001"]
+        assert "except handler" in findings[0].message
+
+    def test_cross_module_caller_leak(self):
+        bundle = [
+            mod("repro.sim.span_helper", """\
+                def open_helper(rec, env):
+                    s = rec.start_span("h", env.now)
+                    return s
+            """),
+            mod("repro.sim.span_caller", """\
+                from repro.sim.span_helper import open_helper
+
+                def caller(rec, env):
+                    s = open_helper(rec, env)
+                    return 0
+            """),
+        ]
+        findings = lint_bundle(bundle, [], [ResourceLifecycleChecker()])
+        assert checks(findings) == ["RES001"]
+        assert findings[0].path == "<t:repro.sim.span_caller>"
+        assert "open_helper" in findings[0].message
+
+    def test_resource_home_package_exempt(self):
+        # The package that *implements* the span protocol opens spans
+        # whose lifecycle is the caller's business, not its own.
+        findings = lint_bundle([mod("repro.telemetry.impl", """\
+            def record(rec, env):
+                s = rec.start_span("w", env.now)
+                return 1
+        """)], [], [ResourceLifecycleChecker()])
+        assert findings == []
+
+
+class TestSwallowedExceptions:
+    def test_broad_silent_handler_flagged(self):
+        findings = lint_bundle([mod("repro.sim.swallow", """\
+            def f(step):
+                try:
+                    step()
+                except Exception:
+                    pass
+        """)], [SwallowedExceptionChecker()], [])
+        assert checks(findings) == ["EXC001"]
+
+    def test_narrow_or_handled_ok(self):
+        findings = lint_bundle([mod("repro.sim.handled", """\
+            def f(step, log):
+                try:
+                    step()
+                except ValueError:
+                    pass
+
+            def g(step, log):
+                try:
+                    step()
+                except Exception as e:
+                    log(e)
+                    raise
+        """)], [SwallowedExceptionChecker()], [])
+        assert findings == []
+
+
+class TestEngineCacheRegression:
+    """The PR-9 fixes: parse memos moved off module scope.
+
+    Linting the *real* worker/plan sources (plus a probe that makes
+    them domain-reachable, as the full tree does) must stay CONC001
+    clean — and the probe itself proves the checker is alive, so the
+    clean result cannot be vacuous.
+    """
+
+    PROBE = ("import repro.sim\n"
+             "import repro.engine.worker\n"
+             "import repro.engine.plan\n")
+
+    def _bundle(self, extra=""):
+        worker = (REPO_ROOT / "src/repro/engine/worker.py").read_text()
+        plan = (REPO_ROOT / "src/repro/engine/plan.py").read_text()
+        return [
+            mod("repro.serve.lint_probe", self.PROBE),
+            SourceModule(path="src/repro/engine/worker.py",
+                         source=worker + extra,
+                         module="repro.engine.worker"),
+            SourceModule(path="src/repro/engine/plan.py", source=plan,
+                         module="repro.engine.plan"),
+        ]
+
+    def test_runtime_owned_memos_are_clean(self):
+        # The module checkers ride along so the sources' own DET004
+        # suppressions register as used (no LNT002 noise).
+        findings = lint_bundle(self._bundle(), all_checkers(),
+                               [SharedStateChecker()])
+        conc = [f for f in findings if f.check.startswith("CONC")]
+        assert conc == []
+
+    def test_reintroducing_a_module_cache_fires(self):
+        regression = ("\n_CACHE = {}\n"
+                      "def _memo(k, v):\n"
+                      "    _CACHE[k] = v\n")
+        findings = lint_bundle(self._bundle(extra=regression),
+                               all_checkers(), [SharedStateChecker()])
+        conc = [f for f in findings if f.check == "CONC001"]
+        assert len(conc) == 1
+        assert "_CACHE" in conc[0].message
+
+
+class TestIdentityMemo:
+    def test_identity_hit_and_equal_miss(self):
+        from repro.engine.plan import IdentityMemo
+        calls = []
+
+        def parse(d):
+            calls.append(d)
+            return dict(d)
+
+        memo = IdentityMemo(parse, max_entries=4)
+        data = {"a": 1}
+        first = memo.get(data)
+        assert memo.get(data) is first  # identity hit: parsed once
+        assert len(calls) == 1
+        memo.get({"a": 1})  # equal but distinct dict: re-parsed
+        assert len(calls) == 2
+
+    def test_eviction_bound(self):
+        from repro.engine.plan import IdentityMemo
+        memo = IdentityMemo(dict, max_entries=2)
+        pinned = [{"i": i} for i in range(3)]
+        for d in pinned:
+            memo.get(d)
+        assert len(memo._entries) <= 2
+
+    def test_runtimes_do_not_share_memos(self):
+        from repro.engine.coordinator import CoordinatorRuntime
+        from repro.engine.worker import WorkerRuntime
+        c1 = CoordinatorRuntime(catalog={}, backend=None,
+                                worker_function="w",
+                                invoker_function="i")
+        c2 = CoordinatorRuntime(catalog={}, backend=None,
+                                worker_function="w",
+                                invoker_function="i")
+        assert c1.plan_cache is not c2.plan_cache
+        w1 = WorkerRuntime(storage={}, barriers=None, cost_model=None)
+        w2 = WorkerRuntime(storage={}, barriers=None, cost_model=None)
+        assert w1.spec_cache is not w2.spec_cache
+
+    def test_plan_cache_memoizes_by_identity(self):
+        from repro.engine.coordinator import CoordinatorRuntime
+        from repro.engine.plan import PhysicalPlan
+        runtime = CoordinatorRuntime(catalog={}, backend=None,
+                                     worker_function="w",
+                                     invoker_function="i")
+        data = PhysicalPlan(query_id="q", pipelines=[]).to_dict()
+        plan = runtime.plan_cache.get(data)
+        assert runtime.plan_cache.get(data) is plan
+
+
+def _selftest_modules():
+    return [SourceModule(path=fixture_path(name), source=FIXTURES[name],
+                         module=name)
+            for name in sorted(FIXTURES)]
+
+
+class TestBundleDeterminism:
+    """Findings are a pure function of the *set* of modules."""
+
+    @given(order=st.permutations(range(len(FIXTURES))))
+    def test_order_invariant(self, order):
+        modules = _selftest_modules()
+        baseline = lint_bundle(modules, all_checkers(),
+                               all_project_checkers())
+        shuffled = [modules[i] for i in order]
+        again = lint_bundle(shuffled, all_checkers(),
+                            all_project_checkers())
+        assert [f.to_dict() for f in again] \
+            == [f.to_dict() for f in baseline]

@@ -4,7 +4,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.lint import all_checkers, lint_paths
+from repro.lint import all_checkers, all_project_checkers, lint_tree
 from repro.lint.arch import layer_of
 from repro.lint.baseline import Baseline, diff_against_baseline
 from repro.lint.cli import DEFAULT_BASELINE
@@ -21,7 +21,8 @@ class TestTreeGate:
         stale baseline entries. (Same check `repro lint --strict` runs.)
         """
         monkeypatch.chdir(REPO_ROOT)
-        findings = lint_paths([Path("src/repro")], all_checkers())
+        findings = lint_tree([Path("src/repro")], all_checkers(),
+                             all_project_checkers())
         baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE)
         new, _, stale = diff_against_baseline(findings, baseline)
         assert new == [], "\n".join(f.format() for f in new)
