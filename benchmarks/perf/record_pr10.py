@@ -1,0 +1,64 @@
+"""Record BENCH_PR10.json: the shard-parallel kernel vs the sequential
+replay.
+
+Starts from the committed ``BENCH_PR7.json`` (all prior scenario slots
+are carried forward unchanged) and adds the
+``sharded-serving-parallel`` scenario, measured in both modes:
+
+* ``before`` — the sequential kernel (``run_replay``), i.e. the PR 7
+  state of the same workload;
+* ``after`` — the shard-parallel kernel (``run_parallel_replay`` with
+  ``workers=0``: the partitioned in-process engine, the honest
+  configuration on a single-core host).
+
+The deterministic check dicts of the two slots — replay digest
+included — must be byte-identical or this script refuses to record:
+the speedup is only meaningful over the same simulated outcome.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/record_pr10.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.harness import measure, normalized_wall, record, \
+    save_baseline
+from repro.bench.scenarios import SCENARIOS
+
+HERE = Path(__file__).resolve().parent
+PR7 = HERE / "BENCH_PR7.json"
+PR10 = HERE / "BENCH_PR10.json"
+
+
+def main() -> None:
+    baseline = json.loads(PR7.read_text())
+    sequential = SCENARIOS["sharded-serving"]
+    parallel = SCENARIOS["sharded-serving-parallel"]
+    for smoke in (False, True):
+        mode = "smoke" if smoke else "full"
+        before = measure(sequential, smoke=smoke)
+        after = measure(parallel, smoke=smoke)
+        if before["checks"] != after["checks"]:
+            raise SystemExit(
+                f"{mode}: parallel checks diverge from sequential — "
+                f"refusing to record a speedup over a different "
+                f"outcome:\n  sequential: {before['checks']}\n"
+                f"  parallel:   {after['checks']}")
+        record(baseline, {"sharded-serving-parallel": before}, "before",
+               smoke=smoke)
+        record(baseline, {"sharded-serving-parallel": after}, "after",
+               smoke=smoke)
+        speedup = normalized_wall(before) / normalized_wall(after)
+        print(f"{mode}: sequential {before['wall_s']:.3f}s, parallel "
+              f"{after['wall_s']:.3f}s -> {speedup:.2f}x at digest "
+              f"{after['checks']['digest']}")
+    save_baseline(baseline, PR10)
+    print(f"recorded -> {PR10}")
+
+
+if __name__ == "__main__":
+    main()

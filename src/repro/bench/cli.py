@@ -5,14 +5,18 @@ Usage::
     repro bench                         # measure all scenarios (full size)
     repro bench --smoke                 # small variants + CI gate
     repro bench --scenario serving      # one scenario only
-    repro bench --record before         # write results into BENCH_PR7.json
+    repro bench --record before         # write results into BENCH_PR10.json
     repro bench --record after --smoke  # and the smoke slot
+    repro bench --compare A.json B.json # speedup table for two recordings
 
 Without ``--record``, measurements are printed and (in ``--smoke``)
 compared against the committed baseline: deterministic checks must match
 exactly and the serving wall-clock (spin-normalized) must stay within
 the regression factor. With ``--record``, measurements are merged into
-the baseline file instead and the gate is skipped.
+the baseline file instead and the gate is skipped. ``--compare`` runs
+nothing: it prints a spin-normalized speedup table between any two
+committed recordings and exits (non-zero if any compared entry's
+deterministic checks drifted between the two files).
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ from __future__ import annotations
 import sys
 from pathlib import Path
 
-DEFAULT_BASELINE = Path("benchmarks/perf/BENCH_PR7.json")
+DEFAULT_BASELINE = Path("benchmarks/perf/BENCH_PR10.json")
 
 
 def add_bench_arguments(parser) -> None:
@@ -41,11 +45,16 @@ def add_bench_arguments(parser) -> None:
                              f"(default: {DEFAULT_BASELINE})")
     parser.add_argument("--no-calls", action="store_true",
                         help="skip the cProfile call-count pass (faster)")
+    parser.add_argument("--compare", nargs=2, type=Path, default=None,
+                        metavar=("BEFORE", "AFTER"),
+                        help="print a speedup table between two recorded "
+                             "baseline files and exit (runs nothing)")
 
 
 def run_bench(args) -> int:
     """Entry point for the `bench` subcommand; returns an exit code."""
     from repro.bench.harness import (
+        format_comparison,
         format_results,
         gate,
         load_baseline,
@@ -54,6 +63,19 @@ def run_bench(args) -> int:
         save_baseline,
     )
     from repro.bench.scenarios import SCENARIOS
+
+    if args.compare is not None:
+        before_path, after_path = args.compare
+        for path in (before_path, after_path):
+            if not path.exists():
+                print(f"repro bench --compare: no such file: {path}",
+                      file=sys.stderr)
+                return 2
+        table = format_comparison(
+            load_baseline(before_path), load_baseline(after_path),
+            before_name=before_path.stem, after_name=after_path.stem)
+        print(table)
+        return 1 if "DRIFTED" in table else 0
 
     names = args.scenario or sorted(SCENARIOS)
     unknown = [name for name in names if name not in SCENARIOS]

@@ -169,6 +169,41 @@ def gate(results: dict, baseline: dict, smoke: bool = True) -> list[str]:
     return failures
 
 
+def format_comparison(before: dict, after: dict,
+                      before_name: str = "before",
+                      after_name: str = "after") -> str:
+    """Speedup table between any two recordings (``--compare``).
+
+    Walks every scenario/mode/slot present in *both* baselines and
+    compares spin-normalized wall clocks (so recordings from different
+    machines compare meaningfully); flags any deterministic-check
+    drift, since a speedup over different checks is not a speedup.
+    """
+    lines = [f"{'scenario':<26} {'mode':<6} {'slot':<7} "
+             f"{before_name:>10} {after_name:>10} {'speedup':>8}  checks"]
+    a_scenarios = before.get("scenarios", {})
+    b_scenarios = after.get("scenarios", {})
+    for name in sorted(set(a_scenarios) & set(b_scenarios)):
+        for mode in ("full", "smoke"):
+            slots_a = a_scenarios[name].get(mode, {})
+            slots_b = b_scenarios[name].get(mode, {})
+            for slot in SLOTS:
+                entry_a, entry_b = slots_a.get(slot), slots_b.get(slot)
+                if entry_a is None or entry_b is None:
+                    continue
+                ratio = (normalized_wall(entry_a)
+                         / max(normalized_wall(entry_b), 1e-12))
+                drift = ("ok" if entry_a["checks"] == entry_b["checks"]
+                         else "DRIFTED")
+                lines.append(
+                    f"{name:<26} {mode:<6} {slot:<7} "
+                    f"{entry_a['wall_s']:>9.3f}s {entry_b['wall_s']:>9.3f}s "
+                    f"{ratio:>7.2f}x  {drift}")
+    if len(lines) == 1:
+        lines.append("(no scenario/mode/slot present in both files)")
+    return "\n".join(lines)
+
+
 def format_results(results: dict, baseline: Optional[dict] = None,
                    smoke: bool = False) -> str:
     """Human-readable result table, with speedup vs 'before' if known."""

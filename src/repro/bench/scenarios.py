@@ -159,27 +159,59 @@ def _build_futures_mapreduce(smoke: bool) -> Callable[[], dict]:
 
 # -- sharded serving -----------------------------------------------------------
 
-def _build_sharded_serving(smoke: bool) -> Callable[[], dict]:
-    from repro.shard import ReplayConfig, run_replay
+def _sharded_serving_config(smoke: bool):
+    from repro.shard import ReplayConfig
 
     config = ReplayConfig(fail_at=(150.0,), fault_plan="shard-failure")
     if smoke:
         config = config.smoke()
+    return config
+
+
+def _sharded_serving_checks(result) -> dict:
+    report = result.report
+    return {
+        "distinct_tenants": result.distinct_tenants,
+        "completed": report["completed"],
+        "shed": report["shed"],
+        "recovered": report["recovered"],
+        "balanced": report["balanced"],
+        "full_scans": result.full_scans,
+        "failures": result.failures_injected,
+        "shards_final": result.shards_final,
+        "digest": result.digest()[:16],
+    }
+
+
+def _build_sharded_serving(smoke: bool) -> Callable[[], dict]:
+    from repro.shard import run_replay
+
+    config = _sharded_serving_config(smoke)
 
     def body() -> dict:
-        result = run_replay(config)
-        report = result.report
-        return {
-            "distinct_tenants": result.distinct_tenants,
-            "completed": report["completed"],
-            "shed": report["shed"],
-            "recovered": report["recovered"],
-            "balanced": report["balanced"],
-            "full_scans": result.full_scans,
-            "failures": result.failures_injected,
-            "shards_final": result.shards_final,
-            "digest": result.digest()[:16],
-        }
+        return _sharded_serving_checks(run_replay(config))
+
+    return body
+
+
+def _build_sharded_serving_parallel(smoke: bool) -> Callable[[], dict]:
+    """The same replay through the shard-parallel kernel.
+
+    Check fields (the digest included) are identical to
+    ``sharded-serving`` by construction — the committed baseline pins
+    that equality, so the parallel speedup can never come from
+    simulating something else. ``workers=0`` runs the partitioned
+    kernel in-process: the honest configuration on a single-core CI
+    host, and the one whose speedup is the batched engine itself
+    rather than parallelism the host cannot provide.
+    """
+    from repro.shard import run_parallel_replay
+
+    config = _sharded_serving_config(smoke)
+
+    def body() -> dict:
+        return _sharded_serving_checks(
+            run_parallel_replay(config, workers=0))
 
     return body
 
@@ -207,4 +239,10 @@ SCENARIOS: dict[str, Scenario] = {
         description="million-tenant Zipf replay over the sharded "
                     "serving fabric (rebalance + shard failure)",
         build=_build_sharded_serving),
+    "sharded-serving-parallel": Scenario(
+        name="sharded-serving-parallel",
+        description="the same replay through the shard-parallel "
+                    "kernel; checks (digest included) must equal "
+                    "sharded-serving",
+        build=_build_sharded_serving_parallel),
 }

@@ -23,11 +23,16 @@ ceiling) forces at millions-of-users scale:
   a conservation check (offered = completed + shed + failed + pending);
 * :mod:`repro.shard.replay` — deterministic high-QPS trace replay over
   the fabric (the `sharded-serving` bench scenario and
-  ``repro shard --smoke``).
+  ``repro shard --smoke``);
+* :mod:`repro.shard.parallel_replay` — the shard-parallel kernel: the
+  same replay partitioned by shard domain over worker processes (or an
+  in-process pool) with a deterministic merge, digest-identical to the
+  sequential path.
 """
 
 from repro.shard.directory import PartitionDirectory, Route
 from repro.shard.metrics import FleetMetrics, LatencyHistogram, ShardMetrics
+from repro.shard.parallel_replay import run_parallel_replay
 from repro.shard.rebalance import RebalanceEvent, Rebalancer
 from repro.shard.replay import ReplayConfig, run_replay, run_unsharded_replay
 from repro.shard.ring import HashRing
@@ -44,6 +49,7 @@ __all__ = [
     "Route",
     "ShardMetrics",
     "ShardRouter",
+    "run_parallel_replay",
     "run_replay",
     "run_unsharded_replay",
 ]

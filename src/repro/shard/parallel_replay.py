@@ -1,0 +1,929 @@
+"""Shard-parallel replay: partitioned kernel, deterministic merge.
+
+:func:`run_parallel_replay` produces a :class:`ReplayResult` whose
+digest is **byte-identical** to :func:`repro.shard.replay.run_replay`
+on the same config. The restructuring exploits the replay's barrier
+structure: between control ticks no directory mutation, failure,
+rebalance, or SLO scrape can happen, so each shard's slot-model drain
+is independent by construction. The run is therefore split in two:
+
+* The **main process** owns everything order-sensitive: the trace, the
+  partition directory, an exact mirror of the router's bounded route
+  cache and epoch fences, the rebalancer, the chaos injector, and the
+  observer. Per event it routes the tenant (byte-for-byte the router's
+  cache/refresh/stale-retry sequence, including the load window) and
+  appends an *op* to the routed shard's buffer.
+* **Shard workers** (a :class:`~repro.sim.parallel.SerialPool` or
+  ``fork``-based :class:`~repro.sim.parallel.ProcessPool`) own the
+  gateways, slot banks, and per-shard metrics. At each control tick —
+  and whenever a buffer fills — the main process flushes the op
+  streams; a worker replays its shards' ops through the *same*
+  ``_advance``/``submit`` machinery the sequential kernel uses, plus a
+  batched fast lane for the uncontended case (see below).
+
+Determinism of the merge is by construction, not by sorting after the
+fact: every control-plane step (failure victim selection, fault polls,
+drain, rebalance, re-homing) runs in the main process in exactly the
+sequential order, with worker barriers (gather pendings, drain to the
+tick, extract/adopt backlogs) standing in for direct gateway access.
+Floating-point state is preserved because each shard's metric
+accumulations (``cost_usd``, ``queue_wait_sum``) happen worker-side in
+completion order — the same scalar additions, in the same order, as
+the sequential run — and the fleet roll-up adds shards in sorted
+order either way.
+
+The **fast lane** handles the dominant uncontended case: when a shard
+has no backlog, no external admissions, and a free slot, a submission
+completes in closed form (``finish = now + service``) without building
+a ``QueryRequest``, touching the queue machinery, or running the
+dispatch loop. The lane is bit-equivalent to the full path: it draws
+the same gateway sequence number, applies the same metric updates in
+the same order, and computes latency as ``finish - now`` (the exact
+expression the sequential path evaluates). With an observer
+attached the workers run the sequential slow path verbatim and tag
+every kept completion with ``(event index, phase, firing order)``; the
+main process merge-sorts the tags so ``on_completion`` fires in the
+byte-exact sequential order.
+
+Two *documented* divergences, both outside the digest: worker
+gateways never see a stale epoch (the main-process mirror resolves
+staleness before an op is emitted), so ``gateway.stale_rejections``
+stays zero worker-side — the result's ``stale_retries`` counter is
+authoritative; and telemetry recorded inside forked workers (when a
+recorder is enabled) stays in the worker process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import math
+from bisect import bisect_right
+from collections import OrderedDict
+from functools import partial
+
+from repro.serve.gateway import QueryGateway, Tenant
+from repro.shard.directory import PartitionDirectory
+from repro.shard.metrics import FleetMetrics, ShardMetrics
+from repro.shard.rebalance import Rebalancer
+from repro.shard.replay import (
+    _ALWAYS,
+    _USD_PER_SLOT_SECOND,
+    ManualClock,
+    ReplayConfig,
+    ReplayResult,
+    ScanGuard,
+    _advance,
+    _distinct,
+    _quiesce,
+    _SlotBank,
+)
+from repro.shard.router import DEFAULT_ROUTE_CACHE
+from repro.sim.parallel import make_pool
+from repro.sim.rng import RandomStreams
+
+# The histogram bucket constants, imported so the worker engine can
+# inline ``LatencyHistogram.record`` (same expressions, same order —
+# the digest pins the equivalence).
+from repro.telemetry.metrics import _BUCKETS, _BUCKETS_PER_DECADE, _LOG_MIN
+from repro.workloads.traffic import zipf_trace
+
+__all__ = ["ShardWorker", "run_parallel_replay"]
+
+_TOP_BUCKET = _BUCKETS + 1
+
+#: Flush op buffers to the workers at this many buffered events even
+#: between ticks. Flush boundaries are transparent — ops carry their
+#: own timestamps and workers keep no cross-flush cursor — so this
+#: only bounds buffer memory and sizes ProcessPool pickles.
+_FLUSH_EVERY = 131_072
+
+
+class ShardWorker:
+    """One worker's shard domains: gateways, slot banks, metrics.
+
+    Constructed inside each pool worker (module-level and picklable so
+    a ``fork`` pool can build it via ``functools.partial``). All state
+    is instance-owned — nothing module-global is ever mutated, which is
+    what keeps the CONC001/CONC002 lint gates green and the domains
+    fork-safe.
+
+    ``interest`` is ``None`` for a bare run (enables the fast lane) or
+    the observer's unpacked ``(slow_s, salt, cut)`` interest spec, in
+    which case every op replays through the sequential slow path and
+    kept completions are returned tagged for the main-process merge.
+    """
+
+    def __init__(self, config: ReplayConfig,
+                 interest: tuple | None = None) -> None:
+        self.config = config
+        self.interest = interest
+        self.clock = ManualClock()
+        self.template = Tenant(
+            name="__default__",
+            max_queue_depth=config.tenant_queue_depth,
+            slo_latency_s=config.slo_latency_s)
+        self.gateways: dict[str, QueryGateway] = {}
+        self.banks: dict[str, _SlotBank] = {}
+        #: Every ScanGuard ever created, retired gateways included —
+        #: the run's ``full_scans`` proof covers dead shards too.
+        self.guards: list[ScanGuard] = []
+
+    # -- domain lifecycle --------------------------------------------------
+
+    def open_shard(self, shard: str) -> None:
+        """Create the gateway + slot bank of a newly owned shard."""
+        metrics = ShardMetrics(shard_id=shard,
+                               slo_latency_s=self.config.slo_latency_s)
+        gateway = QueryGateway(
+            self.clock, metrics=metrics,
+            max_pending=self.config.max_pending_per_shard,
+            shard_id=shard, default_tenant=self.template)
+        gateway.queues = ScanGuard(gateway.queues)
+        gateway.tenants = ScanGuard(gateway.tenants)
+        self.guards.append(gateway.queues)
+        self.guards.append(gateway.tenants)
+        self.gateways[shard] = gateway
+        self.banks[shard] = _SlotBank(self.config.slots_per_shard)
+
+    def extract(self, shard: str):
+        """Retire a shard (merge/failure): drained backlog + metrics."""
+        gateway = self.gateways.pop(shard)
+        self.banks.pop(shard)
+        return gateway.drain_backlog(), gateway.metrics
+
+    def drain_backlog(self, shard: str):
+        """Drain a live shard's backlog (split re-homing)."""
+        return self.gateways[shard].drain_backlog()
+
+    def adopt_many(self, shard: str, requests: list) -> None:
+        """Adopt re-homed requests, preserving the given order."""
+        gateway = self.gateways[shard]
+        for request in requests:
+            gateway.adopt(request)
+
+    # -- barrier views -----------------------------------------------------
+
+    def pendings(self) -> dict[str, int]:
+        return {shard: self.gateways[shard].total_pending
+                for shard in self.gateways}
+
+    def tick_view(self) -> dict:
+        """Per-shard (pending, metrics) snapshot for the observer."""
+        return {shard: (gateway.total_pending, gateway.metrics)
+                for shard, gateway in self.gateways.items()}
+
+    def full_scans(self) -> int:
+        return sum(guard.full_scans for guard in self.guards)
+
+    # -- the engines -------------------------------------------------------
+
+    def run_ops(self, ops_by_shard: dict, gidxs_by_shard: dict | None):
+        """Replay buffered op streams through the owned shards.
+
+        Op encodings (first element is always the virtual time):
+
+        * ``(now, tenant, service)`` — advance, submit, advance-if-
+          admitted: the common event.
+        * ``(now,)`` — advance only: the *pre* shard of a stale-epoch
+          event whose retry re-routed the tenant elsewhere.
+        * ``(now, tenant, service, 0)`` — submit without pre-advance:
+          the *final* shard of that stale event (the sequential path
+          already advanced the pre shard before the retry).
+        """
+        if gidxs_by_shard is None:
+            for shard, ops in ops_by_shard.items():
+                self._run_fast(shard, ops)
+            return None
+        return {shard: self._run_collect(shard, ops, gidxs_by_shard[shard])
+                for shard, ops in ops_by_shard.items()}
+
+    def drain_to(self, upto: float):
+        """Tick barrier: drain every owned shard to ``upto``."""
+        self.clock.now = upto
+        out = {}
+        for shard in sorted(self.banks):
+            kept = self._hooked(
+                _advance, self.banks[shard], self.gateways[shard], upto)
+            out[shard] = (self.gateways[shard].total_pending, kept)
+        return out
+
+    def quiesce_all(self, horizon: float, step: float):
+        """End of trace: drain every owned shard past its last job."""
+        self.clock.now = horizon
+        out = {}
+        for shard in sorted(self.banks):
+            out[shard] = self._hooked(
+                _quiesce, self.banks[shard], self.gateways[shard],
+                horizon, step)
+        return out
+
+    def _hooked(self, drain, *args):
+        """Run a drain; with an observer, collect kept completions."""
+        if self.interest is None:
+            drain(*args)
+            return None
+        slow_s, salt, cut = self.interest
+        kept: list = []
+
+        def hook(finish: float, shard: str, request) -> None:
+            kept.append((finish, shard, request))
+
+        drain(*args, hook, slow_s, salt, cut)
+        return kept
+
+    def _run_collect(self, shard: str, ops: list, gidxs: list):
+        """Observer path: the sequential slow path, with tagged keeps."""
+        gateway = self.gateways[shard]
+        bank = self.banks[shard]
+        clock = self.clock
+        slow_s, salt, cut = self.interest
+        kept: list = []
+        tag = [0, 0, 0]  # event index, phase, firing order
+
+        def hook(finish: float, shard_id: str, request) -> None:
+            kept.append(((tag[0], tag[1], tag[2]), finish, shard_id,
+                         request))
+            tag[2] += 1
+
+        for op, gidx in zip(ops, gidxs):
+            now = op[0]
+            clock.now = now
+            tag[0] = gidx
+            tag[2] = 0
+            if len(op) != 4:
+                tag[1] = 0
+                _advance(bank, gateway, now, hook, slow_s, salt, cut)
+                if len(op) == 1:
+                    continue
+            else:
+                tag[1] = 1
+            request = gateway.submit(op[1], op[2])
+            if request is not None:
+                _advance(bank, gateway, now, hook, slow_s, salt, cut)
+        return kept
+
+    def _run_fast(self, shard: str, ops: list) -> None:
+        """Bare path: inlined dispatch plus the closed-form fast lane.
+
+        Bit-equivalence with the sequential kernel is argued update by
+        update: the dispatch block below is ``_next_request`` +
+        ``_complete`` + ``ShardMetrics.record_completion`` inlined
+        (same arithmetic expressions, same order of float
+        accumulation), and the fast lane only fires when the shard has
+        no backlog, no external admissions, and a free slot — exactly
+        the state in which the full path would offer, admit, dispatch
+        at ``start = now``, and complete with no other side effect.
+        ``queue_wait_sum += start - submitted_at`` is skipped there
+        because the increment is exactly ``+0.0``, the identity on the
+        non-negative sum. ``LatencyHistogram.record`` is inlined with
+        the same expressions in the same order (``_LOG_MIN``,
+        ``_BUCKETS_PER_DECADE``, and the clamp bounds come from
+        :mod:`repro.telemetry.metrics` itself), and the worker clock is
+        written only on slow-path excursions — ``submit`` is the only
+        callee that reads it, so fast-lane and dispatch updates are
+        clock-free.
+        """
+        gateway = self.gateways[shard]
+        bank = self.banks[shard]
+        clock = self.clock
+        metrics = gateway.metrics
+        busy = bank.busy
+        slots = bank.slots
+        slo = metrics.slo_latency_s
+        hist = metrics.latency
+        counts = hist.counts
+        backlog = gateway._backlog
+        queues = gateway.queues
+        tenants = gateway.tenants
+        seq = gateway._seq
+        submit = gateway.submit
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        log10 = math.log10
+        fast_ok = (gateway._telemetry is None
+                   and gateway.on_submit is None
+                   and gateway.max_pending >= 1)
+
+        for op in ops:
+            now = op[0]
+            n = len(op)
+            if n != 4:
+                # The pre-advance every non-stale-retry op performs.
+                if backlog:
+                    while busy and busy[0] <= now:
+                        freed = heappop(busy)
+                        if not backlog:
+                            continue
+                        name = next(iter(backlog))
+                        queue = queues[name]
+                        request = queue.popleft()
+                        gateway._pending -= 1
+                        if not queue:
+                            del backlog[name]
+                            if name not in tenants:
+                                del queues[name]
+                        else:
+                            del backlog[name]
+                            backlog[name] = None
+                        submitted = request.submitted_at
+                        start = freed if freed >= submitted else submitted
+                        plan = request.plan
+                        finish = start + plan
+                        metrics.completed += 1
+                        latency = finish - submitted
+                        if latency <= 0.0:
+                            counts[0] += 1
+                        else:
+                            bucket = int((log10(latency) - _LOG_MIN)
+                                         * _BUCKETS_PER_DECADE) + 1
+                            if bucket < 0:
+                                bucket = 0
+                            elif bucket > _TOP_BUCKET:
+                                bucket = _TOP_BUCKET
+                            counts[bucket] += 1
+                        hist.total += 1
+                        metrics.queue_wait_sum += start - submitted
+                        metrics.cost_usd += plan * _USD_PER_SLOT_SECOND
+                        if latency <= slo:
+                            metrics.within_slo += 1
+                        heappush(busy, finish)
+                    while backlog and len(busy) < slots:
+                        name = next(iter(backlog))
+                        queue = queues[name]
+                        request = queue.popleft()
+                        gateway._pending -= 1
+                        if not queue:
+                            del backlog[name]
+                            if name not in tenants:
+                                del queues[name]
+                        else:
+                            del backlog[name]
+                            backlog[name] = None
+                        submitted = request.submitted_at
+                        plan = request.plan
+                        finish = now + plan
+                        metrics.completed += 1
+                        latency = finish - submitted
+                        if latency <= 0.0:
+                            counts[0] += 1
+                        else:
+                            bucket = int((log10(latency) - _LOG_MIN)
+                                         * _BUCKETS_PER_DECADE) + 1
+                            if bucket < 0:
+                                bucket = 0
+                            elif bucket > _TOP_BUCKET:
+                                bucket = _TOP_BUCKET
+                            counts[bucket] += 1
+                        hist.total += 1
+                        metrics.queue_wait_sum += now - submitted
+                        metrics.cost_usd += plan * _USD_PER_SLOT_SECOND
+                        if latency <= slo:
+                            metrics.within_slo += 1
+                        heappush(busy, finish)
+                else:
+                    while busy and busy[0] <= now:
+                        heappop(busy)
+                if n == 1:
+                    continue
+                if (fast_ok and not backlog and gateway._external == 0
+                        and len(busy) < slots):
+                    metrics.offered += 1
+                    next(seq)
+                    finish = now + op[2]
+                    metrics.completed += 1
+                    latency = finish - now
+                    if latency <= 0.0:
+                        counts[0] += 1
+                    else:
+                        bucket = int((log10(latency) - _LOG_MIN)
+                                     * _BUCKETS_PER_DECADE) + 1
+                        if bucket < 0:
+                            bucket = 0
+                        elif bucket > _TOP_BUCKET:
+                            bucket = _TOP_BUCKET
+                        counts[bucket] += 1
+                    hist.total += 1
+                    metrics.cost_usd += op[2] * _USD_PER_SLOT_SECOND
+                    if latency <= slo:
+                        metrics.within_slo += 1
+                    heappush(busy, finish)
+                else:
+                    clock.now = now
+                    request = submit(op[1], op[2])
+                    if request is not None:
+                        _advance(bank, gateway, now)
+            else:
+                # Stale retry's re-routed submit: no pre-advance ran
+                # on this shard (the sequential path advanced the
+                # *pre* shard before retrying here).
+                if fast_ok and not backlog and gateway._external == 0:
+                    while busy and busy[0] <= now:
+                        heappop(busy)
+                    if len(busy) < slots:
+                        metrics.offered += 1
+                        next(seq)
+                        finish = now + op[2]
+                        metrics.completed += 1
+                        latency = finish - now
+                        if latency <= 0.0:
+                            counts[0] += 1
+                        else:
+                            bucket = int((log10(latency) - _LOG_MIN)
+                                         * _BUCKETS_PER_DECADE) + 1
+                            if bucket < 0:
+                                bucket = 0
+                            elif bucket > _TOP_BUCKET:
+                                bucket = _TOP_BUCKET
+                            counts[bucket] += 1
+                        hist.total += 1
+                        metrics.cost_usd += op[2] * _USD_PER_SLOT_SECOND
+                        if latency <= slo:
+                            metrics.within_slo += 1
+                        heappush(busy, finish)
+                        continue
+                clock.now = now
+                request = submit(op[1], op[2])
+                if request is not None:
+                    _advance(bank, gateway, now)
+
+
+class _GatewayStub:
+    """What the main process knows about a worker-owned gateway."""
+
+    __slots__ = ("total_pending",)
+
+    def __init__(self) -> None:
+        self.total_pending = 0
+
+
+class _ParallelFleet:
+    """The main-process fleet facade: router mirror + worker barriers.
+
+    To the :class:`~repro.shard.rebalance.Rebalancer` and the observer
+    this object *is* the router — same ``directory`` / ``gateways`` /
+    ``shard_metrics`` / ``migrated`` attributes, same
+    ``take_load_window`` / ``split_shard`` / ``merge_shard`` /
+    ``fail_shard`` / ``roll_up`` methods, driven by the same call
+    sequence — except gateway state lives in the workers and is
+    reached through barrier calls. Every mutation replays the
+    sequential router's steps in the sequential order, so the
+    directory, epoch fences, route cache, rebalance history, and
+    recovered counts evolve identically.
+    """
+
+    def __init__(self, config: ReplayConfig, pool) -> None:
+        self.config = config
+        self.pool = pool
+        self.directory = PartitionDirectory(shards=config.shards)
+        self.fleet = FleetMetrics()
+        self.route_cache_size = DEFAULT_ROUTE_CACHE
+        self.gateways: dict[str, _GatewayStub] = {}
+        self.shard_metrics: dict[str, ShardMetrics] = {}
+        self.assign: dict[str, int] = {}
+        self._spawned = 0
+        self.routes: OrderedDict = OrderedDict()
+        self.epochs: dict[str, int] = {}
+        self.window: dict[str, int] = {}
+        self.migrated = 0
+        for shard in self.directory.shards():
+            self._spawn(shard)
+
+    # -- membership --------------------------------------------------------
+
+    def shards(self) -> list[str]:
+        return sorted(self.gateways)
+
+    def _spawn(self, shard: str) -> None:
+        worker = self._spawned % self.pool.workers
+        self._spawned += 1
+        self.assign[shard] = worker
+        self.pool.call(worker, "open_shard", shard)
+        self.gateways[shard] = _GatewayStub()
+        # Placeholder until the next barrier snapshot: identical to
+        # the fresh worker-side metrics, so an observer tick that
+        # lands between spawn and snapshot reads the right zeros.
+        self.shard_metrics[shard] = ShardMetrics(
+            shard_id=shard, slo_latency_s=self.config.slo_latency_s)
+        self.window[shard] = 0
+        self.epochs[shard] = self.directory.shard_epoch(shard)
+
+    def _retire(self, shard: str) -> tuple[int, list]:
+        """Pop a shard everywhere; extract its backlog + final metrics."""
+        worker = self.assign.pop(shard)
+        self.gateways.pop(shard)
+        self.window.pop(shard)
+        self.epochs.pop(shard)
+        orphans, metrics = self.pool.call(worker, "extract", shard)
+        self.shard_metrics[shard] = metrics
+        return worker, orphans
+
+    def _sync_fences(self) -> None:
+        for shard in sorted(self.gateways):
+            self.epochs[shard] = self.directory.shard_epoch(shard)
+
+    # -- data-plane mirror -------------------------------------------------
+
+    def _refresh(self, tenant: str) -> tuple[str, int]:
+        """Re-locate a tenant and cache the ``(shard, epoch)`` route.
+
+        The mirror caches plain tuples rather than
+        :class:`~repro.shard.directory.Route` objects — same fields,
+        same FIFO bound and eviction order as the router's cache, but
+        cheap enough to build a million times on the hot path (the
+        event loop inlines this exact sequence).
+        """
+        located = self.directory.locate(tenant)
+        route = (located.shard, located.epoch)
+        routes = self.routes
+        if tenant not in routes and len(routes) >= self.route_cache_size:
+            routes.popitem(last=False)
+        routes[tenant] = route
+        return route
+
+    # -- rebalancer protocol -----------------------------------------------
+
+    def take_load_window(self) -> dict[str, int]:
+        window = {shard: self.window[shard]
+                  for shard in sorted(self.window)}
+        for shard in window:
+            self.window[shard] = 0
+        return window
+
+    def pending_total(self) -> int:
+        return sum(self.gateways[shard].total_pending
+                   for shard in sorted(self.gateways))
+
+    def roll_up(self):
+        return self.fleet.roll_up(
+            [self.shard_metrics[shard]
+             for shard in sorted(self.shard_metrics)],
+            pending=self.pending_total())
+
+    # -- control plane -----------------------------------------------------
+
+    def _rehome(self, orphans: list) -> None:
+        """Re-adopt recovered requests on their directory owners.
+
+        The per-target adoption order equals the drain order (the
+        sequential ``_rehome`` adopts one by one; grouping per target
+        preserves each gateway's sequence), and the route-cache
+        refreshes replay in drain order too.
+        """
+        groups: dict[str, list] = {}
+        for request in orphans:
+            request.rescued = True
+            target = self._refresh(request.tenant)[0]
+            bucket = groups.get(target)
+            if bucket is None:
+                bucket = groups[target] = []
+            bucket.append(request)
+        for target in sorted(groups):
+            self.pool.call(self.assign[target], "adopt_many", target,
+                           groups[target])
+        self.fleet.recovered_requests += len(orphans)
+
+    def _resettle(self, owner: str) -> int:
+        orphans = self.pool.call(self.assign[owner], "drain_backlog",
+                                 owner)
+        stay: list = []
+        groups: dict[str, list] = {}
+        moved = 0
+        for request in orphans:
+            target = self._refresh(request.tenant)[0]
+            if target == owner:
+                stay.append(request)
+            else:
+                bucket = groups.get(target)
+                if bucket is None:
+                    bucket = groups[target] = []
+                bucket.append(request)
+                moved += 1
+        for target in sorted(groups):
+            self.pool.call(self.assign[target], "adopt_many", target,
+                           groups[target])
+        if stay:
+            self.pool.call(self.assign[owner], "adopt_many", owner, stay)
+        return moved
+
+    def split_shard(self, hot: str) -> str:
+        new = self.directory.split_shard(hot)
+        self._spawn(new)
+        self._sync_fences()
+        self.migrated += self._resettle(hot)
+        return new
+
+    def merge_shard(self, cold: str, target: str) -> int:
+        _worker, orphans = self._retire(cold)
+        self.directory.merge_shard(cold, target)
+        self._sync_fences()
+        self._rehome(orphans)
+        return len(orphans)
+
+    def fail_shard(self, dead: str) -> int:
+        _worker, orphans = self._retire(dead)
+        self.directory.fail_shard(dead)
+        self._sync_fences()
+        self._rehome(orphans)
+        return len(orphans)
+
+    # -- barriers ----------------------------------------------------------
+
+    def _every_worker(self, method: str, *args) -> list:
+        return self.pool.scatter(
+            [(worker, method, args)
+             for worker in range(self.pool.workers)])
+
+    def gather_pendings(self) -> dict[str, int]:
+        merged: dict[str, int] = {}
+        for payload in self._every_worker("pendings"):
+            for shard, pending in payload.items():
+                self.gateways[shard].total_pending = pending
+                merged[shard] = pending
+        return merged
+
+    def drain_to(self, upto: float) -> dict[str, list]:
+        """The tick barrier; returns kept completions per shard."""
+        kept_by_shard: dict[str, list] = {}
+        for payload in self._every_worker("drain_to", upto):
+            for shard, (pending, kept) in payload.items():
+                self.gateways[shard].total_pending = pending
+                if kept:
+                    kept_by_shard[shard] = kept
+        return kept_by_shard
+
+    def quiesce(self, horizon: float, step: float) -> dict[str, list]:
+        kept_by_shard: dict[str, list] = {}
+        for payload in self._every_worker("quiesce_all", horizon, step):
+            for shard, kept in payload.items():
+                self.gateways[shard].total_pending = 0
+                if kept:
+                    kept_by_shard[shard] = kept
+        return kept_by_shard
+
+    def refresh_view(self) -> None:
+        """Pull pending counts + metric snapshots for the observer."""
+        for payload in self._every_worker("tick_view"):
+            for shard, (pending, metrics) in payload.items():
+                self.gateways[shard].total_pending = pending
+                self.shard_metrics[shard] = metrics
+
+    def gather_full_scans(self) -> int:
+        return sum(self._every_worker("full_scans"))
+
+
+def run_parallel_replay(config: ReplayConfig, observer=None,
+                        workers: int = 0) -> ReplayResult:
+    """The shard-parallel replay; digest-identical to ``run_replay``.
+
+    ``workers=0`` runs the partitioned kernel in-process (the honest —
+    and fastest — configuration on a single-core host: all the batched
+    engine, none of the IPC); ``workers=n`` forks ``n`` shard-worker
+    processes when the platform supports it. The returned result, its
+    digest, and every observer callback sequence are independent of
+    ``workers`` — the equality tests sweep it.
+    """
+    streams = RandomStreams(config.seed)
+    times, ids = zipf_trace(
+        streams.stream("shard.trace"), config.tenants, config.events,
+        config.window_s, s=config.zipf_s)
+    services = streams.stream("shard.service").exponential(
+        config.mean_service_s, size=config.events)
+
+    slow_s, salt, cut = _ALWAYS, 0, 0
+    interest = None
+    if observer is not None:
+        spec = getattr(observer, "completion_interest", None)
+        if spec is not None:
+            slow_s, salt, cut = spec
+        interest = (slow_s, salt, cut)
+    on_completion = observer.on_completion if observer is not None else None
+
+    pool = make_pool(partial(ShardWorker, config, interest), workers)
+    try:
+        fleet = _ParallelFleet(config, pool)
+        rebalancer = Rebalancer(
+            fleet, seed=config.seed, hot_factor=config.hot_factor,
+            cold_factor=config.cold_factor, min_shards=1,
+            max_shards=config.max_shards)
+        injector = None
+        if config.fault_plan:
+            from repro.chaos.injector import FaultInjector
+            from repro.chaos.plan import get_plan
+            injector = FaultInjector(get_plan(config.fault_plan),
+                                     RandomStreams(config.seed))
+            if observer is not None:
+                injector.observer = observer
+
+        pending_failures = sorted(config.fail_at)
+        failures = 0
+        submits = 0
+        stale_retries = 0
+        next_control = config.control_interval_s
+
+        # Hot-loop locals: the same dict/list objects the facade
+        # mutates in place, bound once.
+        routes = fleet.routes
+        routes_get = routes.get
+        routes_popitem = routes.popitem
+        refresh = fleet._refresh
+        gateways = fleet.gateways
+        epochs = fleet.epochs
+        window = fleet.window
+        times_list = times.tolist()
+        ids_list = ids.tolist()
+        services_list = services.tolist()
+        collect = observer is not None
+
+        # Directory internals for the inlined route-miss path (the
+        # exact ``locate`` + ``HashRing.lookup`` sequence, minus the
+        # call layers). ``_overrides``, ``_shard_epochs``, and
+        # ``_owner`` mutate in place, but ``remove_node`` *rebinds*
+        # ``_points`` — so the ring locals are re-hoisted after every
+        # control tick, the only point the directory can mutate.
+        directory = fleet.directory
+        overrides_get = directory._overrides.get
+        dir_epochs = directory._shard_epochs
+        ring = directory.ring
+        points = ring._points
+        owner = ring._owner
+        sha256 = hashlib.sha256
+        from_bytes = int.from_bytes
+        cache_cap = fleet.route_cache_size
+
+        shard_ops: dict[str, list] = {}
+        shard_gidx: dict[str, list] = {}
+        buffered = 0
+
+        def flush() -> None:
+            nonlocal buffered
+            if not buffered:
+                return
+            per_worker: dict[int, dict] = {}
+            for shard, ops in shard_ops.items():
+                per_worker.setdefault(fleet.assign[shard], {})[shard] = ops
+            calls = []
+            for worker in sorted(per_worker):
+                gidxs = None
+                if collect:
+                    gidxs = {shard: shard_gidx[shard]
+                             for shard in per_worker[worker]}
+                calls.append((worker, "run_ops",
+                              (per_worker[worker], gidxs)))
+            results = pool.scatter(calls)
+            if collect:
+                merged: list = []
+                for payload in results:
+                    if payload:
+                        for kept in payload.values():
+                            merged.extend(kept)
+                merged.sort(key=lambda entry: entry[0])
+                for _tag, finish, shard, request in merged:
+                    on_completion(finish, shard, request)
+            shard_ops.clear()
+            shard_gidx.clear()
+            buffered = 0
+
+        def deliver(kept_by_shard: dict[str, list]) -> None:
+            for shard in sorted(kept_by_shard):
+                for finish, shard_id, request in kept_by_shard[shard]:
+                    on_completion(finish, shard_id, request)
+
+        def kill(victim: str) -> None:
+            nonlocal failures
+            orphans = fleet.fail_shard(victim)
+            failures += 1
+            if observer is not None:
+                observer.on_shard_failure(next_control, victim, orphans)
+
+        for index in range(config.events):
+            now = times_list[index]
+            if now >= next_control:
+                while now >= next_control:
+                    flush()
+                    # Failures fire on the un-drained state, exactly as
+                    # in the sequential kernel; the pending gather is
+                    # re-run per kill so a second victim sees adopted
+                    # orphans.
+                    while pending_failures \
+                            and pending_failures[0] <= next_control:
+                        pending_failures.pop(0)
+                        if len(gateways) > 1:
+                            depth = fleet.gather_pendings()
+                            victim = max(sorted(depth),
+                                         key=lambda s: depth[s])
+                            kill(victim)
+                    if injector is not None:
+                        for shard in fleet.shards():
+                            if len(gateways) > 1 \
+                                    and injector.on_shard(shard,
+                                                          next_control):
+                                kill(shard)
+                    drained = fleet.drain_to(next_control)
+                    if collect:
+                        deliver(drained)
+                    rebalancer.step(next_control)
+                    if collect:
+                        fleet.refresh_view()
+                        observer.on_control_tick(next_control, fleet)
+                    next_control += config.control_interval_s
+                points = ring._points
+                owner = ring._owner
+
+            tenant = f"t{ids_list[index]}"
+            route = routes_get(tenant)
+            if route is None or route[0] not in gateways:
+                # Inlined ``_refresh``: override lookup, then the
+                # ring's hash/bisect walk, then the FIFO cache insert
+                # — expression for expression the directory's
+                # ``locate`` and ``HashRing.lookup``.
+                shard = overrides_get(tenant)
+                if shard is None:
+                    i = bisect_right(points, from_bytes(
+                        sha256(tenant.encode("utf-8")).digest()[:8],
+                        "little"))
+                    if i == len(points):
+                        i = 0
+                    shard = owner[points[i]]
+                route = (shard, dir_epochs[shard])
+                if tenant not in routes and len(routes) >= cache_cap:
+                    routes_popitem(last=False)
+                routes[tenant] = route
+            else:
+                shard = route[0]
+            submits += 1
+            if route[1] != epochs[shard]:
+                stale_retries += 1
+                route = refresh(tenant)
+                final = route[0]
+                if route[1] != epochs[final]:
+                    raise RuntimeError(
+                        f"route of tenant {tenant!r} stale after "
+                        f"directory refresh")
+                if final == shard:
+                    ops = shard_ops.get(final)
+                    if ops is None:
+                        ops = shard_ops[final] = []
+                        if collect:
+                            shard_gidx[final] = []
+                    ops.append((now, tenant, services_list[index]))
+                    if collect:
+                        shard_gidx[final].append(index)
+                else:
+                    ops = shard_ops.get(shard)
+                    if ops is None:
+                        ops = shard_ops[shard] = []
+                        if collect:
+                            shard_gidx[shard] = []
+                    ops.append((now,))
+                    if collect:
+                        shard_gidx[shard].append(index)
+                    ops = shard_ops.get(final)
+                    if ops is None:
+                        ops = shard_ops[final] = []
+                        if collect:
+                            shard_gidx[final] = []
+                    ops.append((now, tenant, services_list[index], 0))
+                    if collect:
+                        shard_gidx[final].append(index)
+                window[final] += 1
+                buffered += 2
+            else:
+                ops = shard_ops.get(shard)
+                if ops is None:
+                    ops = shard_ops[shard] = []
+                    if collect:
+                        shard_gidx[shard] = []
+                ops.append((now, tenant, services_list[index]))
+                if collect:
+                    shard_gidx[shard].append(index)
+                window[shard] += 1
+                buffered += 1
+            if buffered >= _FLUSH_EVERY:
+                flush()
+
+        flush()
+        quiesced = fleet.quiesce(config.window_s, config.mean_service_s)
+        if collect:
+            deliver(quiesced)
+        fleet.refresh_view()
+        if observer is not None:
+            observer.on_end(config.window_s, fleet)
+
+        report = fleet.roll_up()
+        return ReplayResult(
+            report=report.to_dict(),
+            rebalances=rebalancer.history(),
+            distinct_tenants=_distinct(ids),
+            events=config.events,
+            shards_final=len(fleet.gateways),
+            submits=submits,
+            stale_retries=stale_retries,
+            migrated=fleet.migrated,
+            recovered=fleet.fleet.recovered_requests,
+            full_scans=fleet.gather_full_scans(),
+            failures_injected=failures,
+            extra={"engine": "parallel", "workers": workers,
+                   "pool": type(pool).__name__})
+    finally:
+        pool.close()

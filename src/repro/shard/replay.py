@@ -85,6 +85,25 @@ class ScanGuard(dict):
         self.full_scans += 1
         return super().items()
 
+    def copy(self):
+        """Counted: copying *is* a full scan — exactly once.
+
+        Whether ``dict.copy`` on a subclass dispatches through the
+        Python-level ``keys()`` override is a CPython implementation
+        detail: overriding ``__iter__`` changes ``tp_iter``, which
+        defeats ``PyDict_Merge``'s exact-dict fast path and sends the
+        walk through ``keys()`` (counted) on current CPython — but
+        that is nowhere contracted. Bumping only when the parent copy
+        did not already count keeps ``sg.copy()`` at exactly one scan
+        on any dispatch behavior. Walks that read the key table
+        directly at the C level (``repr``, ``==``) remain invisible —
+        the regression test pins the current census of both groups.
+        """
+        before = self.full_scans
+        data = super().copy()
+        self.full_scans = before + 1
+        return data
+
 
 @dataclass(frozen=True)
 class ReplayConfig:

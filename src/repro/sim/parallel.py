@@ -1,0 +1,248 @@
+"""Process-pool substrate for shard-parallel simulation.
+
+The shard-parallel replay kernel (:mod:`repro.shard.parallel_replay`)
+partitions a run into independent *domains* (shards) that only
+synchronise at control ticks.  This module provides the two execution
+substrates that kernel fans out over:
+
+* :class:`ProcessPool` — one OS process per worker, each owning a
+  handler object built by a picklable factory.  Calls are method
+  dispatches shipped over a :func:`multiprocessing.Pipe`; scatter /
+  gather lets a barrier round overlap the workers' compute.
+* :class:`SerialPool` — the same interface with every handler living
+  in-process.  No pickling, no processes: this is both the fallback on
+  hosts where ``fork`` is unavailable and the fast path when the
+  caller asks for ``workers=0`` (the partitioned kernel without the
+  IPC tax — on a single-core host the honest configuration).
+
+Both pools are deterministic by construction: a worker owns its
+domains exclusively (no shared mutable state — the property the
+CONC001/CONC002 lint checks gate), every call is addressed to exactly
+one worker, and gather returns results in worker order, never in
+completion order.
+
+Errors raised inside a worker are re-raised at the caller as
+:class:`WorkerError` carrying the remote traceback — a fault in one
+domain must fail the whole run loudly, not silently skew the merge.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Any, Callable, Sequence
+
+__all__ = ["ProcessPool", "SerialPool", "WorkerError", "make_pool"]
+
+#: Sentinel method name that shuts a worker loop down.
+_STOP = "__stop__"
+
+
+class WorkerError(RuntimeError):
+    """A worker raised; carries the remote traceback text."""
+
+    def __init__(self, worker: int, remote_traceback: str) -> None:
+        super().__init__(
+            f"worker {worker} raised:\n{remote_traceback}")
+        self.worker = worker
+        self.remote_traceback = remote_traceback
+
+
+def _worker_main(conn, factory: Callable[[], Any]) -> None:
+    """Worker loop: build the handler, dispatch method calls forever."""
+    try:
+        handler = factory()
+    except BaseException:
+        conn.send(("error", traceback.format_exc()))
+        conn.close()
+        return
+    conn.send(("ok", None))
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        method, args = message
+        if method == _STOP:
+            conn.send(("ok", None))
+            break
+        try:
+            result = getattr(handler, method)(*args)
+        except BaseException:
+            conn.send(("error", traceback.format_exc()))
+        else:
+            conn.send(("ok", result))
+    conn.close()
+
+
+class ProcessPool:
+    """``n`` worker processes, each owning one handler object.
+
+    ``factory`` is called once inside each worker to build its
+    handler; it must be picklable (a module-level callable, or a
+    ``functools.partial`` over one).  With the ``fork`` start method
+    the factory may also close over inherited state.
+    """
+
+    def __init__(self, factory: Callable[[], Any], workers: int,
+                 context: str = "fork") -> None:
+        if workers <= 0:
+            raise ValueError("ProcessPool needs at least one worker")
+        ctx = multiprocessing.get_context(context)
+        self.workers = workers
+        self._conns = []
+        self._procs = []
+        #: Outstanding (un-received) replies per worker, so close()
+        #: can drain before shutting down.
+        self._inflight = [0] * workers
+        for index in range(workers):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(target=_worker_main,
+                               args=(child, factory), daemon=True)
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+        for index, conn in enumerate(self._conns):
+            status, payload = conn.recv()
+            if status != "ok":
+                self._terminate()
+                raise WorkerError(index, payload)
+
+    # -- calls -------------------------------------------------------------
+
+    def submit(self, worker: int, method: str, *args: Any) -> None:
+        """Send one call without waiting for its result."""
+        self._conns[worker].send((method, args))
+        self._inflight[worker] += 1
+
+    def result(self, worker: int) -> Any:
+        """Receive the next pending result of one worker."""
+        status, payload = self._conns[worker].recv()
+        self._inflight[worker] -= 1
+        if status != "ok":
+            raise WorkerError(worker, payload)
+        return payload
+
+    def call(self, worker: int, method: str, *args: Any) -> Any:
+        """One synchronous round trip to one worker."""
+        self.submit(worker, method, *args)
+        return self.result(worker)
+
+    def scatter(self, calls: Sequence[tuple[int, str, tuple]]) -> list:
+        """Overlapped fan-out: send every call, then gather in order.
+
+        ``calls`` is ``[(worker, method, args), ...]``; the returned
+        results follow the same order.  All sends complete before any
+        receive, so workers compute concurrently between the two
+        phases — this is the barrier primitive a control tick uses.
+        """
+        for worker, method, args in calls:
+            self.submit(worker, method, *args)
+        return [self.result(worker) for worker, _method, _args in calls]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every worker loop and join the processes."""
+        try:
+            for worker, conn in enumerate(self._conns):
+                while self._inflight[worker] > 0:
+                    self.result(worker)
+                conn.send((_STOP, ()))
+            for worker in range(self.workers):
+                self.result(worker)
+        except (OSError, EOFError, WorkerError):
+            pass
+        finally:
+            self._terminate()
+
+    def _terminate(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+    def __enter__(self) -> "ProcessPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class SerialPool:
+    """The :class:`ProcessPool` interface with in-process handlers.
+
+    Handlers run in the caller's process and results are returned
+    directly — no pickling, no pipes.  ``scatter`` degenerates to a
+    sequential loop; determinism and call order are identical to the
+    process pool by construction, which is exactly what makes the two
+    substrates interchangeable under a digest equality gate.
+    """
+
+    def __init__(self, factory: Callable[[], Any], workers: int = 1) -> None:
+        if workers <= 0:
+            raise ValueError("SerialPool needs at least one worker")
+        self.workers = workers
+        self.handlers = [factory() for _ in range(workers)]
+        self._pending: list[list[Any]] = [[] for _ in range(workers)]
+
+    def submit(self, worker: int, method: str, *args: Any) -> None:
+        handler = self.handlers[worker]
+        try:
+            result = ("ok", getattr(handler, method)(*args))
+        except BaseException:
+            result = ("error", traceback.format_exc())
+        self._pending[worker].append(result)
+
+    def result(self, worker: int) -> Any:
+        status, payload = self._pending[worker].pop(0)
+        if status != "ok":
+            raise WorkerError(worker, payload)
+        return payload
+
+    def call(self, worker: int, method: str, *args: Any) -> Any:
+        self.submit(worker, method, *args)
+        return self.result(worker)
+
+    def scatter(self, calls: Sequence[tuple[int, str, tuple]]) -> list:
+        for worker, method, args in calls:
+            self.submit(worker, method, *args)
+        return [self.result(worker) for worker, _method, _args in calls]
+
+    def close(self) -> None:
+        self.handlers = []
+        self._pending = []
+
+    def __enter__(self) -> "SerialPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def _fork_available() -> bool:
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:
+        return False
+
+
+def make_pool(factory: Callable[[], Any], workers: int):
+    """Build the right substrate for a worker count.
+
+    ``workers == 0`` (or a platform without ``fork``) yields a
+    :class:`SerialPool` with one in-process handler; anything larger
+    forks that many worker processes.
+    """
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+    if workers == 0 or not _fork_available():
+        return SerialPool(factory, workers=max(workers, 1))
+    return ProcessPool(factory, workers=workers)

@@ -13,7 +13,12 @@ from repro.workloads.arrivals import (
     cost_crossover,
     run_arrival_workload,
 )
-from repro.workloads.traffic import burst_arrivals, poisson_arrivals
+from repro.workloads.traffic import (
+    burst_arrivals,
+    poisson_arrivals,
+    zipf_trace,
+    zipf_trace_reference,
+)
 from repro.workloads.suite import (
     SuiteSetup,
     run_query_experiment,
@@ -35,4 +40,6 @@ __all__ = [
     "run_variability_experiment",
     "setup_engine",
     "table5_metrics",
+    "zipf_trace",
+    "zipf_trace_reference",
 ]

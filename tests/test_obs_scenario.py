@@ -47,6 +47,26 @@ class TestOutcomeNeutrality:
             run_replay(config).digest()
 
 
+class TestParallelEquivalence:
+    def test_parallel_kernel_preserves_the_observed_digest(self):
+        """The whole observed outcome — replay, SLO report, sampling,
+        incident bundles — survives the shard-parallel merge intact."""
+        config = tiny_config()
+        sequential = run_obs_replay(config)
+        for workers in (0, 2):
+            parallel = run_obs_replay(config, parallel=True,
+                                      workers=workers)
+            assert parallel.to_json() == sequential.to_json()
+            assert parallel.digest() == sequential.digest()
+
+    @given(st.integers(min_value=0, max_value=7))
+    @settings(max_examples=3, deadline=None)
+    def test_parallel_equivalence_across_seeds(self, seed):
+        config = tiny_config(seed=seed)
+        assert run_obs_replay(config, parallel=True).digest() == \
+            run_obs_replay(config).digest()
+
+
 class TestDeterminism:
     @given(st.integers(min_value=0, max_value=7))
     @settings(max_examples=3, deadline=None)

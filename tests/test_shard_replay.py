@@ -3,6 +3,7 @@
 import pytest
 
 from repro.shard import ReplayConfig, run_replay, run_unsharded_replay
+from repro.shard.replay import ScanGuard
 
 SMALL = ReplayConfig(tenants=5_000, events=8_000, window_s=240.0,
                      shards=3, slots_per_shard=2,
@@ -67,6 +68,66 @@ class TestUnshardedBaseline:
         """Same seed -> same arrivals: offered totals agree."""
         report = run_unsharded_replay(SMALL)
         assert outcome.report["offered"] == report["offered"]
+
+
+class TestScanGuard:
+    def test_keyed_access_stays_free(self):
+        guard = ScanGuard({"a": 1, "b": 2})
+        assert guard["a"] == 1
+        assert guard.get("c") is None
+        assert "b" in guard
+        assert len(guard) == 2
+        assert guard.full_scans == 0
+
+    def test_python_level_walks_are_counted(self):
+        guard = ScanGuard({"a": 1, "b": 2})
+        list(guard)
+        list(guard.keys())
+        list(guard.values())
+        list(guard.items())
+        assert guard.full_scans == 4
+
+    def test_copy_counts_exactly_one_scan(self):
+        """``copy`` must count one scan no matter how CPython routes
+        the walk: because the guard overrides ``__iter__``, current
+        CPython sends ``dict.copy`` through the generic merge path
+        (which calls the counted ``keys()``); the override normalizes
+        to exactly +1 either way, so a future fast path that skips
+        ``keys()`` cannot silently uncount copies."""
+        guard = ScanGuard({"a": 1, "b": 2})
+        copied = guard.copy()
+        assert copied == {"a": 1, "b": 2}
+        assert type(copied) is dict
+        assert guard.full_scans == 1
+
+    def test_c_level_walk_census(self):
+        """The documented blind-spot census on this CPython.
+
+        Overriding ``__iter__`` defeats ``PyDict_Merge``'s exact-dict
+        fast path, so subclass-consuming constructors and unpacking
+        *are* counted (they dispatch through ``keys()``). What stays
+        invisible are walks that read the key table directly at the C
+        level: ``repr`` and ``==``. If a CPython release shifts any
+        of these between groups, this test fails and the guard's
+        contract must be re-audited.
+        """
+        counted = {
+            "dict(sg)": lambda sg: dict(sg),
+            "{**sg}": lambda sg: {**sg},
+            "ScanGuard(sg)": lambda sg: ScanGuard(sg),
+        }
+        for label, walk in counted.items():
+            guard = ScanGuard({"a": 1, "b": 2})
+            assert walk(guard) == {"a": 1, "b": 2}, label
+            assert guard.full_scans == 1, label
+        uncounted = {
+            "repr(sg)": repr,
+            "sg == other": lambda sg: sg == {"a": 1, "b": 2},
+        }
+        for label, walk in uncounted.items():
+            guard = ScanGuard({"a": 1, "b": 2})
+            walk(guard)
+            assert guard.full_scans == 0, label
 
 
 class TestConfig:

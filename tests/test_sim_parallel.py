@@ -1,0 +1,100 @@
+"""Process/serial pool substrate: dispatch order, errors, lifecycle."""
+
+import multiprocessing
+
+import pytest
+
+from repro.sim.parallel import ProcessPool, SerialPool, WorkerError, make_pool
+
+
+class Counter:
+    """A stateful handler: results prove which instance served a call."""
+
+    def __init__(self, base: int = 0) -> None:
+        self.base = base
+        self.calls = 0
+
+    def bump(self, amount: int = 1) -> int:
+        self.calls += amount
+        return self.base + self.calls
+
+    def boom(self) -> None:
+        raise ValueError("intentional failure")
+
+
+_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not _FORK, reason="no fork start method")
+
+
+class TestSerialPool:
+    def test_each_worker_owns_its_handler(self):
+        with SerialPool(Counter, workers=3) as pool:
+            assert pool.call(0, "bump") == 1
+            assert pool.call(0, "bump") == 2
+            assert pool.call(2, "bump") == 1  # untouched instance
+
+    def test_scatter_returns_results_in_call_order(self):
+        with SerialPool(Counter, workers=2) as pool:
+            results = pool.scatter([
+                (1, "bump", (10,)), (0, "bump", (1,)), (1, "bump", (1,))])
+            assert results == [10, 1, 11]
+
+    def test_worker_error_carries_the_remote_traceback(self):
+        with SerialPool(Counter, workers=1) as pool:
+            with pytest.raises(WorkerError) as excinfo:
+                pool.call(0, "boom")
+            assert excinfo.value.worker == 0
+            assert "intentional failure" in excinfo.value.remote_traceback
+
+    def test_error_does_not_poison_later_calls(self):
+        with SerialPool(Counter, workers=1) as pool:
+            with pytest.raises(WorkerError):
+                pool.call(0, "boom")
+            assert pool.call(0, "bump") == 1
+
+
+@needs_fork
+class TestProcessPool:
+    def test_round_trips_and_isolation(self):
+        with ProcessPool(Counter, workers=2) as pool:
+            assert pool.call(0, "bump") == 1
+            assert pool.call(0, "bump") == 2
+            assert pool.call(1, "bump") == 1
+
+    def test_scatter_gathers_in_call_order(self):
+        with ProcessPool(Counter, workers=2) as pool:
+            results = pool.scatter([
+                (1, "bump", (5,)), (0, "bump", (1,)), (1, "bump", (1,))])
+            assert results == [5, 1, 6]
+
+    def test_remote_error_is_reraised_with_traceback(self):
+        with ProcessPool(Counter, workers=1) as pool:
+            with pytest.raises(WorkerError) as excinfo:
+                pool.call(0, "boom")
+            assert "ValueError: intentional failure" \
+                in excinfo.value.remote_traceback
+
+    def test_factory_failure_surfaces_at_construction(self):
+        def bad_factory():
+            raise RuntimeError("cannot build")
+        with pytest.raises(WorkerError):
+            ProcessPool(bad_factory, workers=1)
+
+
+class TestMakePool:
+    def test_zero_workers_is_the_serial_substrate(self):
+        pool = make_pool(Counter, 0)
+        assert isinstance(pool, SerialPool)
+        assert pool.workers == 1
+        pool.close()
+
+    @needs_fork
+    def test_positive_workers_fork(self):
+        pool = make_pool(Counter, 2)
+        assert isinstance(pool, ProcessPool)
+        assert pool.workers == 2
+        pool.close()
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            make_pool(Counter, -1)
